@@ -1,0 +1,718 @@
+(* Bench harness: regenerates every table and figure of the paper.
+
+   Usage: dune exec bench/main.exe [-- OPTIONS]
+     --quick        smaller pattern budgets / single K (for CI-style runs)
+     --full         paper-scale budgets where feasible
+     --only IDS     comma-separated subset of: figures,table1,table2,table3,
+                    table4,table5,table6,table7,ablations,micro
+   Every table prints our measured rows next to the paper's published rows;
+   absolute numbers differ (synthetic stand-in circuits, scaled budgets) but
+   the qualitative shape is the claim under test. EXPERIMENTS.md records a
+   snapshot of this output. *)
+
+let quick = ref false
+let only : string list ref = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--full" :: rest ->
+      quick := false;
+      parse rest
+    | "--only" :: ids :: rest ->
+      only := String.split_on_char ',' ids;
+      parse rest
+    | other :: rest ->
+      Printf.eprintf "warning: ignoring argument %s\n" other;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let enabled id = !only = [] || List.mem id !only
+
+let now () = Sys.time ()
+
+let section id title f =
+  if enabled id then begin
+    Printf.printf "\n################ %s — %s\n%!" id title;
+    let t0 = now () in
+    f ();
+    Printf.printf "[%s done in %.1fs cpu]\n%!" id (now () -. t0)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shared circuit versions, computed once per benchmark name.          *)
+(* ------------------------------------------------------------------ *)
+
+let memo : (string, Circuit.t) Hashtbl.t = Hashtbl.create 32
+
+(* Derived circuits (Procedure 2/3, RAR, ...) are deterministic, so they are
+   also cached on disk; re-runs and partial runs (--only) then skip the
+   expensive resynthesis. Delete data/cache to recompute from scratch. *)
+let cache_dir = "data/cache"
+
+let version name variant build =
+  let mode = if !quick then "quick" else "full" in
+  let key = name ^ "/" ^ variant ^ "/" ^ mode in
+  let file = Printf.sprintf "%s/%s.%s.%s.bench" cache_dir name variant mode in
+  match Hashtbl.find_opt memo key with
+  | Some c -> Circuit.copy c
+  | None ->
+    let c =
+      if Sys.file_exists file then Bench_format.read_file file
+      else begin
+        let c = build () in
+        if Sys.file_exists cache_dir && Sys.is_directory cache_dir then
+          Bench_format.write_file file c;
+        c
+      end
+    in
+    Hashtbl.replace memo key c;
+    Circuit.copy c
+
+let original e = version e.Benchmarks.name "orig" (fun () -> Benchmarks.build e)
+
+let proc2_options k = { Engine.default_options with Engine.k }
+
+(* Procedure 2 with the paper's protocol: try K = 5 and K = 6, keep the best
+   circuit (fewest 2-input gates, then fewest paths). In quick mode only
+   K = 5 runs. *)
+let proc2 e =
+  version e.Benchmarks.name "p2" (fun () ->
+      let run k =
+        let c = original e in
+        ignore (Procedure2.run ~options:(proc2_options k) c);
+        c
+      in
+      let candidates = if !quick then [ run 5 ] else [ run 5; run 6 ] in
+      let score c = (Circuit.two_input_gate_count c, Paths.total c) in
+      List.sort (fun a b -> compare (score a) (score b)) candidates |> List.hd)
+
+let proc2_redrem e =
+  version e.Benchmarks.name "p2rr" (fun () ->
+      let c = proc2 e in
+      ignore (Redundancy.remove ~seed:31L c);
+      c)
+
+let proc3 e =
+  version e.Benchmarks.name "p3" (fun () ->
+      let c = original e in
+      let k = if !quick then 5 else 6 in
+      ignore (Procedure3.run ~options:(proc2_options k) c);
+      c)
+
+let rar e =
+  version e.Benchmarks.name "rar" (fun () ->
+      let c = original e in
+      let options =
+        {
+          Rar.default_options with
+          Rar.max_additions = (if !quick then 8 else 15);
+          max_trials = (if !quick then 60 else 150);
+          seed = 17L;
+        }
+      in
+      ignore (Rar.optimize ~options c);
+      c)
+
+let rar_proc2 e =
+  version e.Benchmarks.name "rar+p2" (fun () ->
+      let c = rar e in
+      ignore (Procedure2.run ~options:(proc2_options (if !quick then 5 else 6)) c);
+      c)
+
+let gates2 = Circuit.two_input_gate_count
+let paths c = try Paths.total c with Paths.Overflow -> -1
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1-6 and Table 1                                              *)
+(* ------------------------------------------------------------------ *)
+
+let figures () =
+  let show title b =
+    Printf.printf "%s\n%s" title (Comparison_unit.describe b)
+  in
+  let f2 = Truthtable.of_minterms 4 [ 1; 5; 6; 9; 10; 14 ] in
+  (match Comparison_fn.identify_exact f2 with
+  | Some spec ->
+    Format.printf "f2 {1,5,6,9,10,14} identified: %a@." Comparison_fn.pp_spec spec;
+    show "Figure 1: comparison unit for f2 (L=5, U=10 after permutation)"
+      (Comparison_unit.build ~n:4 spec)
+  | None -> print_endline "BUG: f2 not identified");
+  show "Figure 3(a): >= 3 block" (Comparison_unit.build_interval ~lo:3 ~hi:15 4);
+  show "Figure 3(b): >= 12 block" (Comparison_unit.build_interval ~lo:12 ~hi:15 4);
+  show "Figure 3(c): <= 12 block" (Comparison_unit.build_interval ~lo:0 ~hi:12 4);
+  show "Figure 3(d): <= 3 block" (Comparison_unit.build_interval ~lo:0 ~hi:3 4);
+  show "Figure 4: >= 7 unit with merged AND gates"
+    (Comparison_unit.build_interval ~lo:7 ~hi:15 4);
+  show "Figure 5-like: free variables, L=5 U=7"
+    (Comparison_unit.build_interval ~lo:5 ~hi:7 4);
+  show "Figure 6: unit for L=11, U=12" (Comparison_unit.build_interval ~lo:11 ~hi:12 4)
+
+let table1 () =
+  (* The complete robust test set of the Figure 6 unit. The paper's Table 1
+     lists one (pair of) tests per structural path fault; we generate and
+     verify ours mechanically. *)
+  let b = Comparison_unit.build_interval ~lo:11 ~hi:12 4 in
+  let r = Unit_testgen.generate b in
+  let t =
+    Table.create ~title:"Table 1 — robust tests for the L=11,U=12 unit"
+      ~columns:[ "path"; "transition"; "v1 -> v2" ]
+  in
+  let c = b.Comparison_unit.circuit in
+  List.iter
+    (fun test ->
+      let name id =
+        match Circuit.node_name c id with Some s -> s | None -> string_of_int id
+      in
+      let vec v =
+        String.concat ""
+          (Array.to_list (Array.map (fun x -> if x then "1" else "0") v))
+      in
+      Table.add_row t
+        [
+          String.concat "-" (Array.to_list (Array.map name test.Unit_testgen.path));
+          Robust.direction_to_string test.Unit_testgen.direction;
+          vec test.Unit_testgen.v1 ^ " -> " ^ vec test.Unit_testgen.v2;
+        ])
+    r.Unit_testgen.tests;
+  Table.print t;
+  Printf.printf
+    "untestable path faults: %d (paper: comparison units are fully robustly testable)\n"
+    (List.length r.Unit_testgen.untested)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 — Procedure 2                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* paper rows: gates orig/modif/redrem, paths orig/modif/redrem
+   (-1 where the paper omits the redundancy-removal column) *)
+let paper_table2 =
+  [
+    ("irs1423", (491, 490, 488), (42_089, 37_293, 37_278));
+    ("irs5378", (1394, 1388, -1), (10_976, 10_581, -1));
+    ("irs9234", (1929, 1784, 1783), (109_283, 20_333, 20_330));
+    ("irs13207", (2737, 2537, -1), (261_312, 85_174, -1));
+    ("irs15850", (3361, 3115, 3107), (23_003_369, 3_635_532, 3_584_511));
+    ("irs35932", (9900, 8497, -1), (58_645, 20_898, -1));
+    ("irs38417", (9698, 9344, 9316), (1_192_971, 674_081, 672_121));
+    ("irs38584", (12037, 11773, -1), (565_433, 157_979, -1));
+  ]
+
+let opt_int v = if v < 0 then "-" else Table.int v
+
+let table2 () =
+  let t =
+    Table.create ~title:"Table 2 — Procedure 2 (2-input gates and paths)"
+      ~columns:
+        [
+          "circuit"; "which"; "g.orig"; "g.modif"; "g.red.rem"; "p.orig";
+          "p.modif"; "p.red.rem";
+        ]
+  in
+  List.iter
+    (fun e ->
+      let name = e.Benchmarks.name in
+      let orig = original e in
+      let p2 = proc2 e in
+      let p2rr = proc2_redrem e in
+      Table.add_row t
+        [
+          name; "ours";
+          Table.int (gates2 orig); Table.int (gates2 p2); Table.int (gates2 p2rr);
+          Table.int (paths orig); Table.int (paths p2); Table.int (paths p2rr);
+        ];
+      match List.find_opt (fun (n, _, _) -> n = name) paper_table2 with
+      | Some (_, (g1, g2, g3), (p1, p2v, p3v)) ->
+        Table.add_row t
+          [
+            name; "paper";
+            Table.int g1; Table.int g2; opt_int g3;
+            Table.int p1; Table.int p2v; opt_int p3v;
+          ]
+      | None -> ())
+    Benchmarks.all;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 — comparison with RAMBO_C                                   *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table3 =
+  [
+    ("irs1423", (491, 42_089), (448, 54_596), (448, 50_000));
+    ("irs5378", (1394, 10_976), (1248, 12_235), (1242, 11_552));
+    ("irs9234", (1929, 109_283), (1539, 32_376), (1497, 23_133));
+    ("irs13207", (2737, 261_312), (2266, 577_911), (2171, 163_525));
+  ]
+
+let table3 () =
+  let t =
+    Table.create ~title:"Table 3 — RAR baseline vs RAR + Procedure 2"
+      ~columns:
+        [
+          "circuit"; "which"; "orig 2-inp"; "orig paths"; "RAR 2-inp";
+          "RAR paths"; "RAR+P2 2-inp"; "RAR+P2 paths";
+        ]
+  in
+  List.iter
+    (fun e ->
+      let name = e.Benchmarks.name in
+      let orig = original e in
+      let r = rar e in
+      let rp = rar_proc2 e in
+      Table.add_row t
+        [
+          name; "ours";
+          Table.int (gates2 orig); Table.int (paths orig);
+          Table.int (gates2 r); Table.int (paths r);
+          Table.int (gates2 rp); Table.int (paths rp);
+        ];
+      match List.find_opt (fun (n, _, _, _) -> n = name) paper_table3 with
+      | Some (_, (g0, p0), (g1, p1), (g2, p2)) ->
+        Table.add_row t
+          [
+            name; "paper";
+            Table.int g0; Table.int p0; Table.int g1; Table.int p1;
+            Table.int g2; Table.int p2;
+          ]
+      | None -> ())
+    Benchmarks.small;
+  Table.print t;
+  print_endline
+    "shape under test: RAR reduces gates more than Procedure 2 but tends to increase\n\
+     paths; running Procedure 2 afterwards recovers gates AND cuts paths."
+
+(* ------------------------------------------------------------------ *)
+(* Table 4 — technology mapping                                         *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table4a =
+  [
+    ("irs1423", ((1035, 72), (1031, 70)));
+    ("irs5378", ((2607, 17), (2610, 16)));
+    ("irs9234", ((3817, 30), (3577, 30)));
+    ("irs13207", ((5443, 31), (5004, 31)));
+  ]
+
+let paper_table4b =
+  [
+    ("irs1423", ((959, 68), (956, 66)));
+    ("irs5378", ((2413, 20), (2428, 20)));
+    ("irs9234", ((3140, 30), (3090, 30)));
+    ("irs13207", ((4591, 35), (4487, 35)));
+  ]
+
+let table4 () =
+  let ta =
+    Table.create ~title:"Table 4(a) — technology mapping: original vs Procedure 2"
+      ~columns:[ "circuit"; "which"; "lit orig"; "longest"; "lit P2"; "longest P2" ]
+  in
+  List.iter
+    (fun e ->
+      let name = e.Benchmarks.name in
+      let m0 = Mapper.map (original e) in
+      let m2 = Mapper.map (proc2 e) in
+      Table.add_row ta
+        [
+          name; "ours";
+          Table.int m0.Mapper.literals; string_of_int m0.Mapper.longest;
+          Table.int m2.Mapper.literals; string_of_int m2.Mapper.longest;
+        ];
+      match List.assoc_opt name paper_table4a with
+      | Some ((l0, d0), (l2, d2)) ->
+        Table.add_row ta
+          [ name; "paper"; Table.int l0; string_of_int d0; Table.int l2; string_of_int d2 ]
+      | None -> ())
+    Benchmarks.small;
+  Table.print ta;
+  let tb =
+    Table.create ~title:"Table 4(b) — technology mapping: RAR vs RAR + Procedure 2"
+      ~columns:[ "circuit"; "which"; "lit RAR"; "longest"; "lit RAR+P2"; "longest" ]
+  in
+  List.iter
+    (fun e ->
+      let name = e.Benchmarks.name in
+      let m1 = Mapper.map (rar e) in
+      let m2 = Mapper.map (rar_proc2 e) in
+      Table.add_row tb
+        [
+          name; "ours";
+          Table.int m1.Mapper.literals; string_of_int m1.Mapper.longest;
+          Table.int m2.Mapper.literals; string_of_int m2.Mapper.longest;
+        ];
+      match List.assoc_opt name paper_table4b with
+      | Some ((l0, d0), (l2, d2)) ->
+        Table.add_row tb
+          [ name; "paper"; Table.int l0; string_of_int d0; Table.int l2; string_of_int d2 ]
+      | None -> ())
+    Benchmarks.small;
+  Table.print tb;
+  print_endline
+    "shape under test: literal savings track the 2-input-gate savings and the\n\
+     longest path does not grow."
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 — Procedure 3                                               *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table5 =
+  [
+    ("irs1423", (91, 79), (491, 503), (42_089, 35_810));
+    ("irs5378", (214, 224), (1394, 1476), (10_976, 9_746));
+    ("irs9234", (247, 248), (1929, 1981), (109_283, 19_842));
+    ("irs13207", (699, 788), (2737, 2606), (261_312, 85_151));
+    ("irs15850", (611, 680), (3361, 3690), (23_003_369, 2_875_815));
+    ("irs35932", (1763, 2048), (9900, 10_850), (58_645, 20_898));
+    ("irs38417", (1664, 1742), (9698, 10_825), (1_192_971, 624_779));
+    ("irs38584", (1455, 1700), (12_139, 11_953), (565_433, 156_201));
+  ]
+
+let table5 () =
+  let t =
+    Table.create ~title:"Table 5 — Procedure 3 (path minimisation)"
+      ~columns:
+        [ "circuit"; "which"; "inp"; "out"; "g.orig"; "g.modif"; "p.orig"; "p.modif" ]
+  in
+  List.iter
+    (fun e ->
+      let name = e.Benchmarks.name in
+      let orig = original e in
+      let p3 = proc3 e in
+      Table.add_row t
+        [
+          name; "ours";
+          string_of_int (Circuit.num_inputs orig);
+          string_of_int (Circuit.num_outputs orig);
+          Table.int (gates2 orig); Table.int (gates2 p3);
+          Table.int (paths orig); Table.int (paths p3);
+        ];
+      match List.find_opt (fun (n, _, _, _) -> n = name) paper_table5 with
+      | Some (_, (i, o), (g0, g1), (p0, p1)) ->
+        Table.add_row t
+          [
+            name; "paper"; string_of_int i; string_of_int o;
+            Table.int g0; Table.int g1; Table.int p0; Table.int p1;
+          ]
+      | None -> ())
+    Benchmarks.all;
+  Table.print t;
+  print_endline "shape under test: paths drop more than under Procedure 2; gates may grow."
+
+(* ------------------------------------------------------------------ *)
+(* Table 6 — random-pattern stuck-at testability                        *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table6 =
+  [
+    ("irs1423", (1468, 0, 34_656), (1439, 0, 34_656));
+    ("irs5378", (4500, 0, 114_848), (3515, 0, 114_848));
+    ("irs9234", (5768, 0, 15_606_336), (4672, 0, 15_606_336));
+    ("irs13207", (8813, 0, 333_120), (7452, 0, 333_120));
+    ("irs15850", (10_510, 18, 27_884_608), (8795, 16, 27_884_608));
+    ("irs35932", (33_174, 0, 256), (26_595, 0, 256));
+    ("irs38417", (30_472, 0, 9_485_440), (26_002, 0, 9_485_440));
+    ("irs38584", (33_536, 9, 25_454_368), (30_802, 9, 25_454_368));
+  ]
+
+let table6 () =
+  let budget = if !quick then 50_000 else 200_000 in
+  Printf.printf "pattern budget: %s (paper: 30,000,000)\n" (Table.int budget);
+  let t =
+    Table.create ~title:"Table 6 — random-pattern stuck-at testability"
+      ~columns:
+        [
+          "circuit"; "which"; "faults"; "remain"; "eff.patt"; "m.faults";
+          "m.remain"; "m.eff.patt";
+        ]
+  in
+  List.iter
+    (fun e ->
+      let name = e.Benchmarks.name in
+      let r0 = Campaign.run ~max_patterns:budget ~seed:101L (original e) in
+      let r1 = Campaign.run ~max_patterns:budget ~seed:101L (proc2_redrem e) in
+      Table.add_row t
+        [
+          name; "ours";
+          Table.int r0.Campaign.total_faults; string_of_int r0.Campaign.remaining;
+          Table.int r0.Campaign.last_effective_pattern;
+          Table.int r1.Campaign.total_faults; string_of_int r1.Campaign.remaining;
+          Table.int r1.Campaign.last_effective_pattern;
+        ];
+      match List.find_opt (fun (n, _, _) -> n = name) paper_table6 with
+      | Some (_, (f0, rem0, e0), (f1, rem1, e1)) ->
+        Table.add_row t
+          [
+            name; "paper"; Table.int f0; string_of_int rem0; Table.int e0;
+            Table.int f1; string_of_int rem1; Table.int e1;
+          ]
+      | None -> ())
+    Benchmarks.all;
+  Table.print t;
+  print_endline
+    "shape under test: the modified circuits remain (equally) random-pattern testable;\n\
+     the last effective pattern stays in the same regime."
+
+(* ------------------------------------------------------------------ *)
+(* Table 7 — robust PDF detection by random patterns (irs13207)        *)
+(* ------------------------------------------------------------------ *)
+
+let table7 () =
+  let window = if !quick then 5_000 else 10_000 in
+  let max_pairs = if !quick then 100_000 else 200_000 in
+  Printf.printf "stop window: %s ineffective pairs (paper: 100,000)\n" (Table.int window);
+  let e = Benchmarks.find "irs13207" in
+  let t =
+    Table.create ~title:"Table 7 — robust PDF detection by random patterns, irs13207"
+      ~columns:[ "base"; "which"; "eff"; "det/faults (base)"; "det/faults (after P2)" ]
+  in
+  let run c = Pdf_campaign.run ~max_pairs ~stop_window:window ~seed:77L c in
+  let fmt r =
+    Printf.sprintf "%s/%s"
+      (Table.int r.Pdf_campaign.detected)
+      (Table.int r.Pdf_campaign.total_faults)
+  in
+  let row base_name base_circuit modified =
+    let r0 = run base_circuit in
+    let r1 = run modified in
+    Table.add_row t
+      [
+        base_name; "ours";
+        Table.int
+          (max r0.Pdf_campaign.last_effective_pattern
+             r1.Pdf_campaign.last_effective_pattern);
+        fmt r0; fmt r1;
+      ]
+  in
+  row "original" (original e) (proc2 e);
+  row "RAR" (rar e) (rar_proc2 e);
+  Table.add_row t [ "original"; "paper"; "131,000"; "7,304/522,624"; "8,324/170,348" ];
+  Table.add_row t [ "RAMBO_C"; "paper"; "132,000"; "7,459/1,155,822"; "8,096/327,050" ];
+  Table.print t;
+  print_endline
+    "shape under test: the modification removes path faults faster than it removes\n\
+     detected ones, so robust coverage rises on both bases."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  let e = Benchmarks.find "irs1423" in
+  let t =
+    Table.create ~title:"Ablation — K (subcircuit input limit), Procedure 2 on irs1423"
+      ~columns:[ "K"; "gates"; "paths"; "depth"; "seconds" ]
+  in
+  List.iter
+    (fun k ->
+      let c = original e in
+      let t0 = now () in
+      ignore (Procedure2.run ~options:(proc2_options k) c);
+      Table.add_row t
+        [
+          string_of_int k; Table.int (gates2 c); Table.int (paths c);
+          string_of_int (Levelize.depth_logic c);
+          Printf.sprintf "%.2f" (now () -. t0);
+        ])
+    [ 4; 5; 6 ];
+  Table.print t;
+  let t =
+    Table.create ~title:"Ablation — identification engine, Procedure 2 on irs1423"
+      ~columns:[ "engine"; "gates"; "paths"; "seconds" ]
+  in
+  List.iter
+    (fun (label, engine) ->
+      let c = original e in
+      let options = { (proc2_options 5) with Engine.engine } in
+      let t0 = now () in
+      ignore (Procedure2.run ~options c);
+      Table.add_row t
+        [
+          label; Table.int (gates2 c); Table.int (paths c);
+          Printf.sprintf "%.2f" (now () -. t0);
+        ])
+    [
+      ("exact", Comparison_fn.Exact);
+      ("sampled-200 (paper)", Comparison_fn.Sampled 200);
+      ("sampled-20", Comparison_fn.Sampled 20);
+    ];
+  Table.print t;
+  let t =
+    Table.create ~title:"Ablation — chain-gate merging (Fig. 4), Procedure 2 on irs1423"
+      ~columns:[ "merge"; "gates"; "paths"; "depth" ]
+  in
+  List.iter
+    (fun merge ->
+      let c = original e in
+      ignore (Procedure2.run ~options:{ (proc2_options 5) with Engine.merge } c);
+      Table.add_row t
+        [
+          string_of_bool merge; Table.int (gates2 c); Table.int (paths c);
+          string_of_int (Levelize.depth_logic c);
+        ])
+    [ true; false ];
+  Table.print t;
+  (* The paper's Sec. 6 future-work items, implemented as engine options. *)
+  let t =
+    Table.create
+      ~title:"Extension — Sec. 6 items (don't-cares, multi-unit covers), Procedure 2 on irs1423"
+      ~columns:[ "variant"; "gates"; "paths"; "seconds" ]
+  in
+  List.iter
+    (fun (label, options) ->
+      let c = original e in
+      let t0 = now () in
+      ignore (Procedure2.run ~options c);
+      Table.add_row t
+        [
+          label; Table.int (gates2 c); Table.int (paths c);
+          Printf.sprintf "%.2f" (now () -. t0);
+        ])
+    [
+      ("baseline (paper)", proc2_options 5);
+      ("+ don't-cares", { (proc2_options 5) with Engine.use_dontcares = true });
+      ("+ multi-unit covers", { (proc2_options 5) with Engine.max_units = 3 });
+      ( "+ both",
+        { (proc2_options 5) with Engine.use_dontcares = true; max_units = 3 } );
+    ];
+  Table.print t;
+  (* Direct check of the central testability claim with the robust PDF test
+     generator: most paths removed by Procedure 3 were robustly untestable. *)
+  let small =
+    Circuit_gen.generate
+      {
+        Circuit_gen.name = "claim";
+        n_pi = 20;
+        n_po = 14;
+        n_gates = 110;
+        depth = 10;
+        combine_pct = 28;
+        xor_pct = 0;
+        seed = 4242L;
+      }
+  in
+  let c0, _ = Redundancy.make_irredundant ~seed:12L small in
+  let p3 = Circuit.copy c0 in
+  ignore (Procedure3.run ~options:(proc2_options 5) p3);
+  let s0 = Pdf_atpg.classify_all ~seed:5L c0 in
+  let s1 = Pdf_atpg.classify_all ~seed:5L p3 in
+  let t =
+    Table.create
+      ~title:"Claim check — robust PDF testability before/after Procedure 3 (exact ATPG)"
+      ~columns:[ "circuit"; "paths"; "testable"; "untestable"; "aborted" ]
+  in
+  let row label c s =
+    Table.add_row t
+      [
+        label; Table.int (paths c);
+        Table.int s.Pdf_atpg.testable; Table.int s.Pdf_atpg.untestable;
+        Table.int s.Pdf_atpg.aborted;
+      ]
+  in
+  row "original" c0 s0;
+  row "after Procedure 3" p3 s1;
+  Table.print t;
+  Printf.printf
+    "paper's claim: the path faults removed are mostly untestable ones (untestable\n\
+     count drops faster than testable count).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per table/figure               *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let c17 = Benchmarks.c17 () in
+  let unit_spec =
+    { Comparison_fn.perm = [| 4; 3; 1; 2 |]; lo = 5; hi = 10; complemented = false }
+  in
+  let f2 = Truthtable.of_minterms 4 [ 1; 5; 6; 9; 10; 14 ] in
+  let small =
+    Circuit_gen.generate
+      {
+        Circuit_gen.name = "micro";
+        n_pi = 24;
+        n_po = 16;
+        n_gates = 130;
+        depth = 10;
+        combine_pct = 25;
+        xor_pct = 4;
+        seed = 99L;
+      }
+  in
+  let cmp = Compiled.of_circuit small in
+  let sim = Fsim.create cmp in
+  let rng = Rng.create 3L in
+  let n_pi = Circuit.num_inputs small in
+  let faults = Array.of_list (Fault.collapsed small) in
+  let tests =
+    [
+      Test.make ~name:"fig1: build comparison unit"
+        (Staged.stage (fun () -> Comparison_unit.build ~n:4 unit_spec));
+      Test.make ~name:"table1: unit robust test set"
+        (Staged.stage (fun () ->
+             Unit_testgen.generate (Comparison_unit.build ~n:4 unit_spec)));
+      Test.make ~name:"sec3.4: exact identification of f2"
+        (Staged.stage (fun () -> Comparison_fn.identify_exact f2));
+      Test.make ~name:"table2: Procedure-2 pass (130 gates)"
+        (Staged.stage (fun () ->
+             let c = Circuit.copy small in
+             Procedure2.run ~options:{ (proc2_options 5) with Engine.max_passes = 1 } c));
+      Test.make ~name:"table3: RAR 64-pattern sim filter"
+        (Staged.stage (fun () ->
+             Compiled.simulate cmp (Array.init n_pi (fun _ -> Rng.next64 rng))));
+      Test.make ~name:"table4: technology map c17"
+        (Staged.stage (fun () -> Mapper.map c17));
+      Test.make ~name:"table5: Procedure-3 pass (130 gates)"
+        (Staged.stage (fun () ->
+             let c = Circuit.copy small in
+             Procedure3.run ~options:{ (proc2_options 5) with Engine.max_passes = 1 } c));
+      Test.make ~name:"table6: PPSFP batch over all faults"
+        (Staged.stage (fun () ->
+             Fsim.load_patterns sim (Array.init n_pi (fun _ -> Rng.next64 rng));
+             Array.iter (fun f -> ignore (Fsim.detect sim f)) faults));
+      Test.make ~name:"table7: wave sim + robust count"
+        (Staged.stage (fun () ->
+             let v1 = Array.init n_pi (fun _ -> Rng.bool rng) in
+             let v2 = Array.init n_pi (fun _ -> Rng.bool rng) in
+             let waves = Wave.simulate cmp ~v1 ~v2 in
+             Pdf_campaign.count_robust cmp waves));
+      Test.make ~name:"proc1: path counting"
+        (Staged.stage (fun () -> Paths.total small));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-44s %16s\n" "kernel" "ns/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name r ->
+          match Analyze.OLS.estimates r with
+          | Some [ est ] -> Printf.printf "%-44s %16.1f\n" name est
+          | Some _ | None -> Printf.printf "%-44s %16s\n" name "n/a")
+        stats)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "sft bench harness (%s mode)\n" (if !quick then "quick" else "full");
+  section "figures" "comparison-unit structures (Figures 1-6)" figures;
+  section "table1" "robust test set of a comparison unit" table1;
+  section "table2" "Procedure 2: gates and paths" table2;
+  section "table3" "RAR baseline comparison" table3;
+  section "table4" "technology mapping" table4;
+  section "table5" "Procedure 3: path minimisation" table5;
+  section "table6" "random-pattern stuck-at testability" table6;
+  section "table7" "robust PDF random-pattern campaigns" table7;
+  section "ablations" "design-choice ablations" ablations;
+  section "micro" "Bechamel micro-benchmarks" micro

@@ -1,0 +1,362 @@
+(* sft — command-line front end for the synthesis-for-testability library.
+
+   Circuits are read from ISCAS-style .bench files, or taken from the
+   built-in benchmark registry with --bench NAME. *)
+
+open Cmdliner
+
+let load ~file ~bench =
+  match (file, bench) with
+  | Some f, None -> Bench_format.read_file f
+  | None, Some b -> Benchmarks.build (Benchmarks.find b)
+  | Some _, Some _ -> failwith "give either FILE or --bench, not both"
+  | None, None -> failwith "give a .bench FILE or --bench NAME"
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input .bench netlist.")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"NAME"
+        ~doc:"Use a built-in benchmark stand-in (irs1423, irs5378, ..., see $(b,sft list)).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the resulting netlist to OUT.")
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let save output c =
+  match output with
+  | Some path ->
+    Bench_format.write_file path c;
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
+let print_stats c =
+  let paths = try Table.int (Paths.total c) with Paths.Overflow -> "overflow" in
+  Printf.printf
+    "%s: inputs %d, outputs %d, gates %d (eq. 2-input %d), paths %s, depth %d (logic %d)\n"
+    (Circuit.name c) (Circuit.num_inputs c) (Circuit.num_outputs c)
+    (Circuit.num_gates c)
+    (Circuit.two_input_gate_count c)
+    paths (Levelize.depth c) (Levelize.depth_logic c)
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run file bench =
+    let c = load ~file ~bench in
+    print_stats c
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics (Procedure 1 path count included).")
+    Term.(const run $ file_arg $ bench_arg)
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Table.create ~title:"built-in benchmark stand-ins"
+        ~columns:[ "name"; "inputs"; "outputs"; "paper 2-inp"; "paper paths" ]
+    in
+    List.iter
+      (fun e ->
+        Table.add_row t
+          [
+            e.Benchmarks.name;
+            string_of_int e.Benchmarks.profile.Circuit_gen.n_pi;
+            string_of_int e.Benchmarks.profile.Circuit_gen.n_po;
+            Table.int e.Benchmarks.paper_gates2;
+            Table.int e.Benchmarks.paper_paths;
+          ])
+      Benchmarks.all;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark stand-ins.")
+    Term.(const run $ const ())
+
+(* --- gen ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run name raw output =
+    let e = Benchmarks.find name in
+    let c =
+      if raw then Circuit_gen.generate e.Benchmarks.profile else Benchmarks.build e
+    in
+    print_stats c;
+    save output c
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let raw =
+    Arg.(value & flag & info [ "raw" ] ~doc:"Skip the redundancy-removal preparation step.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark stand-in and optionally write it out.")
+    Term.(const run $ name_arg $ raw $ output_arg)
+
+(* --- optimize ------------------------------------------------------------- *)
+
+let optimize_cmd =
+  let run file bench objective k engine budget no_merge verify dontcares units
+      output =
+    let c = load ~file ~bench in
+    let objective =
+      match objective with
+      | "gates" -> Engine.Gates
+      | "paths" -> Engine.Paths
+      | other -> failwith (Printf.sprintf "unknown objective %S" other)
+    in
+    let engine =
+      match engine with
+      | "exact" -> Comparison_fn.Exact
+      | "sampled" -> Comparison_fn.Sampled budget
+      | other -> failwith (Printf.sprintf "unknown engine %S" other)
+    in
+    let options =
+      {
+        Engine.default_options with
+        Engine.k;
+        engine;
+        merge = not no_merge;
+        verify_global = verify;
+        use_dontcares = dontcares;
+        max_units = units;
+      }
+    in
+    let stats = Engine.optimize objective options c in
+    Format.printf "%a@." Engine.pp_stats stats;
+    print_stats c;
+    save output c
+  in
+  let objective =
+    Arg.(
+      value & opt string "gates"
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:"$(b,gates) for Procedure 2, $(b,paths) for Procedure 3.")
+  in
+  let k = Arg.(value & opt int 6 & info [ "k" ] ~doc:"Subcircuit input limit K.") in
+  let engine =
+    Arg.(
+      value & opt string "exact"
+      & info [ "engine" ] ~doc:"Identification engine: $(b,exact) or $(b,sampled).")
+  in
+  let budget =
+    Arg.(value & opt int 200 & info [ "budget" ] ~doc:"Permutation budget for --engine sampled.")
+  in
+  let no_merge = Arg.(value & flag & info [ "no-merge" ] ~doc:"Disable chain-gate merging.") in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Random-pattern equivalence check after each pass.")
+  in
+  let dontcares =
+    Arg.(
+      value & flag
+      & info [ "dontcares" ]
+          ~doc:"Exploit controllability don't-cares (paper Sec. 6, issue 1).")
+  in
+  let units =
+    Arg.(
+      value & opt int 1
+      & info [ "units" ]
+          ~doc:"Allow covers of up to this many comparison units (Sec. 6, issue 2).")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Resynthesise with comparison units (Procedures 2 and 3 of the paper).")
+    Term.(
+      const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
+      $ verify $ dontcares $ units $ output_arg)
+
+(* --- rar ------------------------------------------------------------------ *)
+
+let rar_cmd =
+  let run file bench additions trials seed output =
+    let c = load ~file ~bench in
+    let options = { Rar.default_options with Rar.max_additions = additions; max_trials = trials; seed } in
+    let stats = Rar.optimize ~options c in
+    Format.printf "%a@." Rar.pp_stats stats;
+    print_stats c;
+    save output c
+  in
+  let additions = Arg.(value & opt int 40 & info [ "additions" ] ~doc:"Accepted-addition budget.") in
+  let trials = Arg.(value & opt int 400 & info [ "trials" ] ~doc:"Proof attempts per round.") in
+  Cmd.v
+    (Cmd.info "rar" ~doc:"Redundancy-addition-and-removal baseline (RAMBO_C stand-in).")
+    Term.(const run $ file_arg $ bench_arg $ additions $ trials $ seed_arg $ output_arg)
+
+(* --- redundancy ------------------------------------------------------------ *)
+
+let redundancy_cmd =
+  let run file bench seed output =
+    let c = load ~file ~bench in
+    let report = Redundancy.remove ~seed c in
+    Format.printf "%a@." Redundancy.pp_report report;
+    print_stats c;
+    save output c
+  in
+  Cmd.v
+    (Cmd.info "redundancy" ~doc:"Remove stuck-at redundancies (the paper's [15] step).")
+    Term.(const run $ file_arg $ bench_arg $ seed_arg $ output_arg)
+
+(* --- fsim ------------------------------------------------------------------ *)
+
+let fsim_cmd =
+  let run file bench patterns seed =
+    let c = load ~file ~bench in
+    let r = Campaign.run ~max_patterns:patterns ~seed c in
+    Format.printf "%a@." Campaign.pp_result r
+  in
+  let patterns =
+    Arg.(value & opt int 100_000 & info [ "patterns" ] ~doc:"Random pattern budget.")
+  in
+  Cmd.v
+    (Cmd.info "fsim" ~doc:"Random-pattern stuck-at fault simulation campaign (Table 6).")
+    Term.(const run $ file_arg $ bench_arg $ patterns $ seed_arg)
+
+(* --- atpg ------------------------------------------------------------------ *)
+
+let atpg_cmd =
+  let run file bench limit =
+    let c = load ~file ~bench in
+    let faults = Fault.collapsed c in
+    let stats = Podem.generate_all ~backtrack_limit:limit c faults in
+    Printf.printf "faults %d: tested %d, untestable %d, aborted %d\n"
+      (List.length faults) stats.Podem.tested stats.Podem.untestable
+      stats.Podem.aborted
+  in
+  let limit = Arg.(value & opt int 1000 & info [ "backtracks" ] ~doc:"PODEM backtrack limit.") in
+  Cmd.v (Cmd.info "atpg" ~doc:"Run PODEM on every collapsed stuck-at fault.")
+    Term.(const run $ file_arg $ bench_arg $ limit)
+
+(* --- pdf ------------------------------------------------------------------ *)
+
+let pdf_cmd =
+  let run file bench pairs window seed =
+    let c = load ~file ~bench in
+    let r = Pdf_campaign.run ~max_pairs:pairs ~stop_window:window ~seed c in
+    Format.printf "%a@." Pdf_campaign.pp_result r
+  in
+  let pairs = Arg.(value & opt int 200_000 & info [ "pairs" ] ~doc:"Two-pattern test budget.") in
+  let window =
+    Arg.(value & opt int 20_000 & info [ "window" ] ~doc:"Stop after this many ineffective pairs.")
+  in
+  Cmd.v
+    (Cmd.info "pdf"
+       ~doc:"Random-pattern robust path-delay-fault campaign (Table 7).")
+    Term.(const run $ file_arg $ bench_arg $ pairs $ window $ seed_arg)
+
+(* --- map ------------------------------------------------------------------ *)
+
+let map_cmd =
+  let run file bench =
+    let c = load ~file ~bench in
+    let r = Mapper.map c in
+    Printf.printf "%s: literals %d, longest path %d cells, cells used %d\n"
+      (Circuit.name c) r.Mapper.literals r.Mapper.longest r.Mapper.cells_used
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Technology-map the circuit and report literals/depth (Table 4).")
+    Term.(const run $ file_arg $ bench_arg)
+
+(* --- identify --------------------------------------------------------------- *)
+
+let identify_cmd =
+  let run n minterms =
+    let ms =
+      String.split_on_char ',' minterms
+      |> List.filter (fun s -> String.trim s <> "")
+      |> List.map (fun s -> int_of_string (String.trim s))
+    in
+    let f = Truthtable.of_minterms n ms in
+    match Comparison_fn.identify_exact f with
+    | None -> print_endline "not a comparison function (nor is its complement)"
+    | Some spec ->
+      Format.printf "comparison function: %a@." Comparison_fn.pp_spec spec;
+      let built = Comparison_unit.build ~n spec in
+      print_string (Comparison_unit.describe built)
+  in
+  let n = Arg.(required & opt (some int) None & info [ "n" ] ~doc:"Number of variables.") in
+  let minterms =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MINTERMS" ~doc:"Comma-separated ON-set minterms, e.g. 1,5,6,9,10,14.")
+  in
+  Cmd.v
+    (Cmd.info "identify"
+       ~doc:"Identify a comparison function and print its comparison unit.")
+    Term.(const run $ n $ minterms)
+
+(* --- sop ------------------------------------------------------------------- *)
+
+let sop_cmd =
+  let run n minterms output =
+    let ms =
+      String.split_on_char ',' minterms
+      |> List.filter (fun s -> String.trim s <> "")
+      |> List.map (fun s -> int_of_string (String.trim s))
+    in
+    let f = Truthtable.of_minterms n ms in
+    let cover = Sop.minimise f in
+    Printf.printf "%d cubes, %d literals:\n" (List.length cover) (Sop.literals cover);
+    List.iter (fun cube -> Format.printf "  %a@." (Sop.pp_cube ~n) cube) cover;
+    let c = Sop.to_circuit n cover in
+    print_stats c;
+    save output c
+  in
+  let n = Arg.(required & opt (some int) None & info [ "n" ] ~doc:"Number of variables.") in
+  let minterms =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MINTERMS" ~doc:"Comma-separated ON-set minterms.")
+  in
+  Cmd.v
+    (Cmd.info "sop" ~doc:"Minimise to two-level form (Quine-McCluskey) and build the netlist.")
+    Term.(const run $ n $ minterms $ output_arg)
+
+(* --- pdfatpg ----------------------------------------------------------------- *)
+
+let pdfatpg_cmd =
+  let run file bench limit max_paths seed =
+    let c = load ~file ~bench in
+    let s = Pdf_atpg.classify_all ~backtrack_limit:limit ~max_paths ~seed c in
+    Format.printf "%a@." Pdf_atpg.pp_summary s
+  in
+  let limit =
+    Arg.(value & opt int 2000 & info [ "backtracks" ] ~doc:"Justification budget per frame.")
+  in
+  let max_paths =
+    Arg.(value & opt int 20_000 & info [ "max-paths" ] ~doc:"Path enumeration cap.")
+  in
+  Cmd.v
+    (Cmd.info "pdfatpg"
+       ~doc:"Classify every path delay fault as robustly testable/untestable (exact ATPG).")
+    Term.(const run $ file_arg $ bench_arg $ limit $ max_paths $ seed_arg)
+
+let () =
+  let doc = "synthesis-for-testability with comparison units (Pomeranz & Reddy, DAC'95)" in
+  let info = Cmd.info "sft" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        stats_cmd;
+        list_cmd;
+        gen_cmd;
+        optimize_cmd;
+        rar_cmd;
+        redundancy_cmd;
+        fsim_cmd;
+        atpg_cmd;
+        pdf_cmd;
+        map_cmd;
+        identify_cmd;
+        sop_cmd;
+        pdfatpg_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

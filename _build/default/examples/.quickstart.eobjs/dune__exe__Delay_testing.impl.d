@@ -1,0 +1,1 @@
+examples/delay_testing.ml: Circuit Circuit_gen Comparison_unit List Paths Pdf_campaign Printf Procedure3 Redundancy Table Unit_testgen

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Comparison_fn Comparison_unit Format List Printf Truthtable Unit_testgen

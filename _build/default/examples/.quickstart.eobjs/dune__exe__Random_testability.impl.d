@@ -1,0 +1,1 @@
+examples/random_testability.ml: Campaign Circuit Circuit_gen Paths Printf Procedure2 Redundancy Table

@@ -1,0 +1,1 @@
+examples/resynthesis_flow.ml: Circuit Circuit_gen Engine Equiv Format Levelize Mapper Paths Printf Procedure2 Procedure3 Redundancy Table

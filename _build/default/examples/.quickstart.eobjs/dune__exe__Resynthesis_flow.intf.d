@@ -1,0 +1,1 @@
+examples/resynthesis_flow.mli:

@@ -1,0 +1,1 @@
+examples/two_level_vs_unit.ml: Circuit Comparison_fn Comparison_unit Engine Eval Format Levelize List Paths Pdf_atpg Printf Procedure2 Sop Truthtable

@@ -1,0 +1,1 @@
+examples/two_level_vs_unit.mli:

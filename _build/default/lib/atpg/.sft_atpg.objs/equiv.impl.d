@@ -1,0 +1,1 @@
+lib/atpg/equiv.ml: Array Circuit Compiled Fault Gate Int64 Podem Printf Rng

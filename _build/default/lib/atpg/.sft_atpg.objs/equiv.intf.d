@@ -1,0 +1,1 @@
+lib/atpg/equiv.mli: Circuit

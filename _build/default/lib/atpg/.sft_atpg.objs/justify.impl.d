@@ -1,0 +1,1 @@
+lib/atpg/justify.ml: Array Circuit Compiled Eval Gate List Option Rng Tv

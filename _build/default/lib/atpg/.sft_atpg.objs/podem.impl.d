@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Bytes Circuit Compiled Fault Format Gate List Tv

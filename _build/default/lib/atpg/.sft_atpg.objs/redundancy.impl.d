@@ -1,0 +1,1 @@
+lib/atpg/redundancy.ml: Array Campaign Circuit Cleanup Fault Format List Podem

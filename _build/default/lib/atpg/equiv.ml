@@ -1,0 +1,73 @@
+type answer =
+  | Equivalent
+  | Counterexample of bool array
+  | Unknown
+
+let import ~into c pi_map =
+  (* Copy circuit [c] into [into], feeding its inputs from [pi_map] (node ids
+     of [into], indexed like [Circuit.inputs c]). Returns the mapped output
+     node ids. *)
+  let remap = Array.make (Circuit.size c) (-1) in
+  Array.iteri (fun i pi -> remap.(pi) <- pi_map.(i)) (Circuit.inputs c);
+  Array.iter
+    (fun id ->
+      match Circuit.kind c id with
+      | Gate.Input -> ()
+      | Gate.Const0 -> remap.(id) <- Circuit.add_const into false
+      | Gate.Const1 -> remap.(id) <- Circuit.add_const into true
+      | k ->
+        let fins = Array.map (fun f -> remap.(f)) (Circuit.fanins c id) in
+        remap.(id) <- Circuit.add_gate into k fins)
+    (Circuit.topo_order c);
+  Array.map (fun o -> remap.(o)) (Circuit.outputs c)
+
+let miter a b =
+  if Circuit.num_inputs a <> Circuit.num_inputs b
+     || Circuit.num_outputs a <> Circuit.num_outputs b
+  then invalid_arg "Equiv.miter: interface mismatch";
+  let m = Circuit.create ~name:"miter" () in
+  let pis = Array.init (Circuit.num_inputs a) (fun i -> Circuit.add_input ~name:(Printf.sprintf "x%d" i) m) in
+  let oa = import ~into:m a pis in
+  let ob = import ~into:m b pis in
+  let diffs = Array.map2 (fun u v -> Circuit.add_gate m Gate.Xor [| u; v |]) oa ob in
+  let out =
+    if Array.length diffs = 1 then diffs.(0)
+    else Circuit.add_gate m Gate.Or diffs
+  in
+  Circuit.mark_output ~name:"diff" m out;
+  m
+
+let check ?(backtrack_limit = 20_000) ?(sim_patterns = 2048) ~seed a b =
+  let m = miter a b in
+  let cmp = Compiled.of_circuit m in
+  let n_pi = Array.length (Compiled.inputs cmp) in
+  let out = (Compiled.outputs cmp).(0) in
+  let rng = Rng.create seed in
+  let counterexample = ref None in
+  let batch = ref 0 in
+  let batches = (sim_patterns + 63) / 64 in
+  while !counterexample = None && !batch < batches do
+    let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
+    let values = Compiled.simulate cmp words in
+    if values.(out) <> 0L then begin
+      let bit = ref 0 in
+      while Int64.logand (Int64.shift_right_logical values.(out) !bit) 1L = 0L do
+        incr bit
+      done;
+      let vec =
+        Array.map
+          (fun w -> Int64.logand (Int64.shift_right_logical w !bit) 1L = 1L)
+          words
+      in
+      counterexample := Some vec
+    end;
+    incr batch
+  done;
+  match !counterexample with
+  | Some vec -> Counterexample vec
+  | None -> (
+    let fault = { Fault.site = Fault.Stem out; stuck = false } in
+    match Podem.generate ~backtrack_limit m fault with
+    | Podem.Test vec -> Counterexample vec
+    | Podem.Untestable -> Equivalent
+    | Podem.Aborted -> Unknown)

@@ -1,0 +1,17 @@
+(** Miter-based equivalence checking, using PODEM as the decision engine. *)
+
+type answer =
+  | Equivalent
+  | Counterexample of bool array
+  | Unknown  (** the backtrack limit was exceeded *)
+
+val miter : Circuit.t -> Circuit.t -> Circuit.t
+(** Fresh circuit whose single output is 1 iff the two circuits (matched
+    positionally on inputs and outputs) disagree. *)
+
+val check :
+  ?backtrack_limit:int -> ?sim_patterns:int -> seed:int64 ->
+  Circuit.t -> Circuit.t -> answer
+(** Random simulation first (fast counterexamples), then PODEM on the miter
+    output stuck-at-0: the fault is untestable iff the miter never raises,
+    i.e. the circuits are equivalent. *)

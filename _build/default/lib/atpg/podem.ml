@@ -1,0 +1,279 @@
+type outcome =
+  | Test of bool array
+  | Untestable
+  | Aborted
+
+let pp_outcome ppf = function
+  | Test v ->
+    Format.fprintf ppf "test ";
+    Array.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) v
+  | Untestable -> Format.pp_print_string ppf "untestable"
+  | Aborted -> Format.pp_print_string ppf "aborted"
+
+exception Abort
+
+type state = {
+  cmp : Compiled.t;
+  stuck : Tv.v; (* forced faulty value at the site *)
+  site_stem : int; (* node whose good value activates the fault *)
+  fault_gate : int; (* gate with the faulty pin, -1 for stem faults *)
+  fault_pin : int;
+  stem_node : int; (* node carrying the forced value, -1 for branch faults *)
+  pi_value : Tv.v array; (* per node id, X when unassigned; only PIs used *)
+  good : Tv.v array;
+  faul : Tv.v array;
+  mutable backtracks : int;
+  limit : int;
+}
+
+let eval_node values st id =
+  let fins = Compiled.fanins st.cmp id in
+  Tv.eval (Compiled.kind st.cmp id) (Array.map (fun f -> values.(f)) fins)
+
+let eval_faulty st id =
+  if id = st.stem_node then st.stuck
+  else begin
+    let fins = Compiled.fanins st.cmp id in
+    let vals =
+      Array.mapi
+        (fun pin f ->
+          if id = st.fault_gate && pin = st.fault_pin then st.stuck
+          else st.faul.(f))
+        fins
+    in
+    match Compiled.kind st.cmp id with
+    | Gate.Input -> st.faul.(id)
+    | k -> Tv.eval k vals
+  end
+
+let imply st =
+  Array.iter
+    (fun id ->
+      match Compiled.kind st.cmp id with
+      | Gate.Input ->
+        st.good.(id) <- st.pi_value.(id);
+        st.faul.(id) <- (if id = st.stem_node then st.stuck else st.pi_value.(id))
+      | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.Not | Gate.And | Gate.Or
+      | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        st.good.(id) <- eval_node st.good st id;
+        st.faul.(id) <- eval_faulty st id)
+    (Compiled.order st.cmp)
+
+let has_d st id =
+  Tv.known st.good.(id) && Tv.known st.faul.(id)
+  && not (Tv.equal st.good.(id) st.faul.(id))
+
+let composite_x st id = not (Tv.known st.good.(id)) || not (Tv.known st.faul.(id))
+
+let detected st =
+  Array.exists (fun po -> has_d st po) (Compiled.outputs st.cmp)
+
+(* D-frontier: gates whose output is composite-X with a D on some input
+   (including the injected faulty pin). *)
+let d_frontier st =
+  let frontier = ref [] in
+  Array.iter
+    (fun id ->
+      match Compiled.kind st.cmp id with
+      | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        if composite_x st id then begin
+          let fins = Compiled.fanins st.cmp id in
+          let d_in = ref false in
+          Array.iteri
+            (fun pin f ->
+              let fv =
+                if id = st.fault_gate && pin = st.fault_pin then st.stuck
+                else st.faul.(f)
+              in
+              let gv = st.good.(f) in
+              if Tv.known gv && Tv.known fv && not (Tv.equal gv fv) then
+                d_in := true)
+            fins;
+          if !d_in then frontier := id :: !frontier
+        end)
+    (Compiled.order st.cmp);
+  List.rev !frontier
+
+(* Is there a path of composite-X lines from some frontier gate to a PO? *)
+let x_path_exists st frontier =
+  let size = Compiled.size st.cmp in
+  let visited = Bytes.make size '\000' in
+  let rec dfs id =
+    if Bytes.get visited id = '\001' then false
+    else begin
+      Bytes.set visited id '\001';
+      if not (composite_x st id) then false
+      else if Compiled.is_po st.cmp id then true
+      else Array.exists dfs (Compiled.fanouts st.cmp id)
+    end
+  in
+  List.exists
+    (fun g ->
+      (* the frontier gate's own output is composite-X; search from it *)
+      Bytes.fill visited 0 size '\000';
+      dfs g)
+    frontier
+
+let backtrace st node v =
+  let rec walk node v =
+    match Compiled.kind st.cmp node with
+    | Gate.Input -> Some (node, v)
+    | Gate.Const0 | Gate.Const1 -> None
+    | Gate.Buf -> walk (Compiled.fanins st.cmp node).(0) v
+    | Gate.Not -> walk (Compiled.fanins st.cmp node).(0) (Tv.lnot v)
+    | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+      let kind = Compiled.kind st.cmp node in
+      let invert = Gate.inverting kind in
+      let phase = if invert then Tv.lnot v else v in
+      let fins = Compiled.fanins st.cmp node in
+      let x_input =
+        Array.fold_left
+          (fun acc f ->
+            match acc with
+            | Some _ -> acc
+            | None -> if Tv.known st.good.(f) then None else Some f)
+          None fins
+      in
+      (match x_input with
+      | None -> None
+      | Some f ->
+        (* For And/Nand, reaching output-phase 1 needs all inputs 1; phase 0
+           is reached by any single 0. Either way the chosen X input gets the
+           phase value itself for And (dually Or). *)
+        let target =
+          match kind with
+          | Gate.And | Gate.Nand -> phase
+          | Gate.Or | Gate.Nor -> phase
+          | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.Not
+          | Gate.Xor | Gate.Xnor -> assert false
+        in
+        walk f target)
+    | Gate.Xor | Gate.Xnor ->
+      let invert = Gate.inverting (Compiled.kind st.cmp node) in
+      let phase = if invert then Tv.lnot v else v in
+      let fins = Compiled.fanins st.cmp node in
+      let x_input = ref None in
+      let parity = ref Tv.F in
+      Array.iter
+        (fun f ->
+          if Tv.known st.good.(f) then parity := Tv.lxor_ !parity st.good.(f)
+          else if !x_input = None then x_input := Some f)
+        fins;
+      (match !x_input with
+      | None -> None
+      | Some f -> walk f (Tv.lxor_ phase !parity))
+  in
+  walk node v
+
+type verdict = Found | Exhausted
+
+let rec search st =
+  imply st;
+  if detected st then Found
+  else begin
+    let site_gv = st.good.(st.site_stem) in
+    if Tv.known site_gv && Tv.equal site_gv st.stuck then Exhausted
+    else begin
+      let objective =
+        if not (Tv.known site_gv) then Some (st.site_stem, Tv.lnot st.stuck)
+        else begin
+          (* Fault is activated: extend the D-frontier. *)
+          let frontier = d_frontier st in
+          match frontier with
+          | [] -> None
+          | _ :: _ when not (x_path_exists st frontier) -> None
+          | g :: _ ->
+            let fins = Compiled.fanins st.cmp g in
+            let side = ref None in
+            Array.iter
+              (fun f -> if !side = None && not (Tv.known st.good.(f)) then side := Some f)
+              fins;
+            (match !side with
+            | Some f ->
+              let v =
+                match Gate.controlling (Compiled.kind st.cmp g) with
+                | Some c -> Tv.of_bool (not c)
+                | None -> Tv.F (* XOR side inputs: any value propagates *)
+              in
+              Some (f, v)
+            | None ->
+              (* output X but all inputs known: impossible for total gates *)
+              None)
+        end
+      in
+      match objective with
+      | None -> Exhausted
+      | Some (node, v) -> (
+        match backtrace st node v with
+        | None -> Exhausted
+        | Some (pi, pv) ->
+          let try_value value =
+            st.pi_value.(pi) <- value;
+            search st
+          in
+          (match try_value pv with
+          | Found -> Found
+          | Exhausted ->
+            st.backtracks <- st.backtracks + 1;
+            if st.backtracks > st.limit then raise Abort;
+            (match try_value (Tv.lnot pv) with
+            | Found -> Found
+            | Exhausted ->
+              st.pi_value.(pi) <- Tv.X;
+              Exhausted)))
+    end
+  end
+
+let generate ?(backtrack_limit = 1000) c (f : Fault.t) =
+  let cmp = Compiled.of_circuit c in
+  let stuck = Tv.of_bool f.Fault.stuck in
+  let site_stem, fault_gate, fault_pin, stem_node =
+    match f.Fault.site with
+    | Fault.Stem u -> (u, -1, -1, u)
+    | Fault.Branch (g, pin) -> ((Circuit.fanins c g).(pin), g, pin, -1)
+  in
+  let size = Compiled.size cmp in
+  let st =
+    {
+      cmp;
+      stuck;
+      site_stem;
+      fault_gate;
+      fault_pin;
+      stem_node;
+      pi_value = Array.make size Tv.X;
+      good = Array.make size Tv.X;
+      faul = Array.make size Tv.X;
+      backtracks = 0;
+      limit = backtrack_limit;
+    }
+  in
+  match search st with
+  | Found ->
+    let vec =
+      Array.map
+        (fun pi -> match st.pi_value.(pi) with Tv.T -> true | Tv.F | Tv.X -> false)
+        (Compiled.inputs cmp)
+    in
+    Test vec
+  | Exhausted -> Untestable
+  | exception Abort -> Aborted
+
+type stats = {
+  tested : int;
+  untestable : int;
+  aborted : int;
+  tests : (Fault.t * bool array) list;
+}
+
+let generate_all ?backtrack_limit c faults =
+  List.fold_left
+    (fun acc f ->
+      match generate ?backtrack_limit c f with
+      | Test v -> { acc with tested = acc.tested + 1; tests = (f, v) :: acc.tests }
+      | Untestable -> { acc with untestable = acc.untestable + 1 }
+      | Aborted -> { acc with aborted = acc.aborted + 1 })
+    { tested = 0; untestable = 0; aborted = 0; tests = [] }
+    faults

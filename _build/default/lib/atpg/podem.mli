@@ -1,0 +1,27 @@
+(** PODEM test-pattern generation for single stuck-at faults.
+
+    Classic PODEM: decisions are made only on primary inputs, objectives are
+    derived from fault activation and the D-frontier, and implication is a
+    full dual (good/faulty) three-valued forward simulation. A backtrack
+    limit bounds the search; exceeding it yields [Aborted], exhausting it
+    yields a proof of untestability. *)
+
+type outcome =
+  | Test of bool array
+      (** A detecting input vector (don't-cares filled with 0). *)
+  | Untestable
+  | Aborted
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val generate : ?backtrack_limit:int -> Circuit.t -> Fault.t -> outcome
+(** Default backtrack limit: 1000. *)
+
+type stats = {
+  tested : int;
+  untestable : int;
+  aborted : int;
+  tests : (Fault.t * bool array) list;
+}
+
+val generate_all : ?backtrack_limit:int -> Circuit.t -> Fault.t list -> stats

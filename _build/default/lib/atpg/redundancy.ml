@@ -1,0 +1,73 @@
+type report = {
+  removed : int;
+  aborted : int;
+  passes : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "redundancy removal: %d removed, %d unresolved, %d passes"
+    r.removed r.aborted r.passes
+
+let find_untestable ?(backtrack_limit = 1000) ?(prefilter_patterns = 4096) ~seed c =
+  let survivors =
+    Campaign.undetected ~max_patterns:prefilter_patterns ~seed c
+  in
+  let untestable = ref [] in
+  let aborted = ref 0 in
+  List.iter
+    (fun f ->
+      match Podem.generate ~backtrack_limit c f with
+      | Podem.Test _ -> ()
+      | Podem.Untestable -> untestable := f :: !untestable
+      | Podem.Aborted -> incr aborted)
+    survivors;
+  (List.rev !untestable, !aborted)
+
+let tie_off c (f : Fault.t) =
+  let const = Circuit.add_const c f.Fault.stuck in
+  (match f.Fault.site with
+  | Fault.Stem u -> Circuit.retarget c ~from_:u ~to_:const
+  | Fault.Branch (g, pin) ->
+    let fins = Array.copy (Circuit.fanins c g) in
+    fins.(pin) <- const;
+    Circuit.set_fanins c g fins);
+  Cleanup.simplify c
+
+let structurally_valid c (f : Fault.t) =
+  match f.Fault.site with
+  | Fault.Stem u -> Circuit.is_alive c u
+  | Fault.Branch (g, pin) -> Circuit.is_alive c g && pin < Circuit.fanin_count c g
+
+let remove ?backtrack_limit ?prefilter_patterns ~seed c =
+  let removed = ref 0 in
+  let aborted = ref 0 in
+  let passes = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr passes;
+    let untestable, ab = find_untestable ?backtrack_limit ?prefilter_patterns ~seed c in
+    aborted := ab;
+    match untestable with
+    | [] -> continue := false
+    | candidates ->
+      (* Removing one redundancy can make another candidate testable, so
+         each is re-proved against the current circuit right before its
+         tie-off. An untestability proof on the current circuit justifies the
+         tie-off even if earlier removals rewired the site. *)
+      List.iter
+        (fun f ->
+          if structurally_valid c f then
+            match Podem.generate ?backtrack_limit c f with
+            | Podem.Untestable ->
+              tie_off c f;
+              incr removed
+            | Podem.Test _ | Podem.Aborted -> ())
+        candidates
+  done;
+  { removed = !removed; aborted = !aborted; passes = !passes }
+
+let make_irredundant ?backtrack_limit ?prefilter_patterns ~seed c =
+  let work = Circuit.copy c in
+  let report = remove ?backtrack_limit ?prefilter_patterns ~seed work in
+  let fresh, _ = Circuit.compact work in
+  (fresh, report)

@@ -1,0 +1,40 @@
+(** Redundancy identification and removal (the [15] stand-in).
+
+    A stuck-at fault proved untestable lets the faulty line be tied to the
+    stuck value without changing the circuit function; constant propagation
+    then shrinks the logic. Removing one redundancy can change the status of
+    others, so candidates are re-verified right before each removal and the
+    whole analysis iterates to a fixpoint. *)
+
+type report = {
+  removed : int;  (** redundant faults removed (lines tied off) *)
+  aborted : int;  (** faults whose status remained unknown (kept) *)
+  passes : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val find_untestable :
+  ?backtrack_limit:int ->
+  ?prefilter_patterns:int ->
+  seed:int64 ->
+  Circuit.t ->
+  Fault.t list * int
+(** Untestable collapsed faults (proved by PODEM after a random-pattern
+    prefilter) and the count of aborted proofs. *)
+
+val remove :
+  ?backtrack_limit:int ->
+  ?prefilter_patterns:int ->
+  seed:int64 ->
+  Circuit.t ->
+  report
+(** Remove redundancies in place (the circuit is mutated and swept). *)
+
+val make_irredundant :
+  ?backtrack_limit:int ->
+  ?prefilter_patterns:int ->
+  seed:int64 ->
+  Circuit.t ->
+  Circuit.t * report
+(** Non-destructive: returns a compacted irredundant copy. *)

@@ -1,0 +1,1 @@
+lib/comparison/comparison_fn.ml: Array Format Hashtbl List Printf Rng Seq String Truthtable

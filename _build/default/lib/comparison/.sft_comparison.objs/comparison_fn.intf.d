@@ -1,0 +1,1 @@
+lib/comparison/comparison_fn.mli: Format Rng Truthtable

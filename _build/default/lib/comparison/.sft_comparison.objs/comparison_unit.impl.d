@@ -1,0 +1,1 @@
+lib/comparison/comparison_unit.ml: Array Buffer Circuit Comparison_fn Eval Gate Hashtbl Levelize List Printf String Truthtable

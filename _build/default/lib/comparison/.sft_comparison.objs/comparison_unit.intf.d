@@ -1,0 +1,1 @@
+lib/comparison/comparison_unit.mli: Circuit Comparison_fn

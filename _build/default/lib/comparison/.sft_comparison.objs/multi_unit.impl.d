@@ -1,0 +1,1 @@
+lib/comparison/multi_unit.ml: Array Circuit Comparison_fn Comparison_unit Eval Gate List Printf Rng Seq Truthtable

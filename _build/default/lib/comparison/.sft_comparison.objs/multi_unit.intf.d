@@ -1,0 +1,1 @@
+lib/comparison/multi_unit.mli: Comparison_fn Comparison_unit Rng Truthtable

@@ -1,0 +1,1 @@
+lib/comparison/unit_testgen.ml: Array Circuit Comparison_unit Compiled Format Hashtbl List Paths Printf Robust String Wave

@@ -1,0 +1,1 @@
+lib/comparison/unit_testgen.mli: Circuit Comparison_unit Format Robust

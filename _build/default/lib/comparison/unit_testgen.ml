@@ -1,0 +1,69 @@
+type test = {
+  path : int array;
+  direction : Robust.direction;
+  v1 : bool array;
+  v2 : bool array;
+}
+
+let pp_vec ppf v =
+  Array.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) v
+
+let pp_test c ppf t =
+  let name id =
+    match Circuit.node_name c id with
+    | Some s -> s
+    | None -> Printf.sprintf "n%d" id
+  in
+  Format.fprintf ppf "%s %s: %a -> %a"
+    (String.concat "-" (Array.to_list (Array.map name t.path)))
+    (Robust.direction_to_string t.direction)
+    pp_vec t.v1 pp_vec t.v2
+
+type result = {
+  tests : test list;
+  untested : (int array * Robust.direction) list;
+}
+
+let vec_of_int n m = Array.init n (fun j -> m land (1 lsl (n - 1 - j)) <> 0)
+
+let generate (b : Comparison_unit.built) =
+  let c = b.Comparison_unit.circuit in
+  let cmp = Compiled.of_circuit c in
+  let n = Circuit.num_inputs c in
+  let paths = Paths.enumerate c in
+  (* Cache the wave simulation per vector pair lazily: iterate pairs in a
+     fixed order and test all still-untested path faults against each. *)
+  let pending = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace pending (p, Robust.Rising) ();
+      Hashtbl.replace pending (p, Robust.Falling) ())
+    paths;
+  let tests = ref [] in
+  let total = 1 lsl n in
+  let m1 = ref 0 in
+  while Hashtbl.length pending > 0 && !m1 < total do
+    let v1 = vec_of_int n !m1 in
+    for m2 = 0 to total - 1 do
+      if m2 <> !m1 && Hashtbl.length pending > 0 then begin
+        let v2 = vec_of_int n m2 in
+        let waves = Wave.simulate cmp ~v1 ~v2 in
+        List.iter
+          (fun p ->
+            match Robust.detects cmp waves p with
+            | Some dir when Hashtbl.mem pending (p, dir) ->
+              Hashtbl.remove pending (p, dir);
+              tests := { path = p; direction = dir; v1; v2 } :: !tests
+            | Some _ | None -> ())
+          paths
+      end
+    done;
+    incr m1
+  done;
+  let untested =
+    Hashtbl.fold (fun (p, dir) () acc -> (p, dir) :: acc) pending []
+    |> List.sort compare
+  in
+  { tests = List.rev !tests; untested }
+
+let fully_testable b = (generate b).untested = []

@@ -1,0 +1,27 @@
+(** Robust path-delay-fault test generation for comparison units (Sec. 3.3).
+
+    Comparison units are fully robustly testable; this module produces a
+    complete two-pattern test set and doubles as the constructive proof: the
+    generated pairs are validated with the robust simulation criteria of
+    {!Robust}. Generation searches the (at most [4^n]) vector pairs, which is
+    cheap at the arities resynthesis uses (n <= 7). *)
+
+type test = {
+  path : int array;  (** node ids, primary input first *)
+  direction : Robust.direction;
+  v1 : bool array;
+  v2 : bool array;
+}
+
+val pp_test : Circuit.t -> Format.formatter -> test -> unit
+
+type result = {
+  tests : test list;
+  untested : (int array * Robust.direction) list;
+      (** Path faults with no robust test (empty for comparison units). *)
+}
+
+val generate : Comparison_unit.built -> result
+
+val fully_testable : Comparison_unit.built -> bool
+(** [untested = []]. *)

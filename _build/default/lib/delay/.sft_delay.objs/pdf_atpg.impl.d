@@ -1,0 +1,1 @@
+lib/delay/pdf_atpg.ml: Array Circuit Compiled Format Gate Justify List Paths Rng Robust Wave

@@ -1,0 +1,1 @@
+lib/delay/pdf_atpg.mli: Circuit Format Robust

@@ -1,0 +1,1 @@
+lib/delay/pdf_campaign.ml: Array Bytes Char Compiled Format Gate Paths Rng Robust Wave

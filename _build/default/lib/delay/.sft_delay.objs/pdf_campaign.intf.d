@@ -1,0 +1,1 @@
+lib/delay/pdf_campaign.mli: Circuit Compiled Format Wave

@@ -1,0 +1,1 @@
+lib/delay/robust.ml: Array Compiled Gate Wave

@@ -1,0 +1,1 @@
+lib/delay/robust.mli: Circuit Compiled Wave

@@ -1,0 +1,1 @@
+lib/delay/wave.ml: Array Compiled Gate

@@ -1,0 +1,1 @@
+lib/delay/wave.mli: Compiled Gate

@@ -1,0 +1,56 @@
+(** Robust path-delay-fault test generation.
+
+    For a path fault the robust criteria of {!Robust} impose {e value}
+    constraints on the two vectors — every on-path line transitions in a
+    fixed direction, off-path inputs of a controlling-to-non-controlling step
+    are stable non-controlling, off-path inputs of the opposite step are
+    non-controlling in the second vector. These split into independent line
+    justification problems for [v1] and [v2] (the vectors share no primary
+    inputs), solved with {!Justify}. The remaining requirement — hazard
+    freedom of stable side inputs — is not a value constraint, so a found
+    pair is validated against the full robust simulation and regenerated with
+    randomised justification on failure.
+
+    Soundness: the value constraints are {e necessary} for robust detection,
+    so if either frame is unsatisfiable the fault is robustly untestable.
+    Paths through Xor/Xnor gates have data-dependent transition polarity and
+    are reported [Unsupported]. *)
+
+type outcome =
+  | Test of bool array * bool array  (** a validated robust two-pattern test *)
+  | Untestable  (** no robust test exists (value constraints UNSAT) *)
+  | Aborted  (** search or validation budget exhausted *)
+  | Unsupported  (** Xor/Xnor on the path *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val generate :
+  ?backtrack_limit:int ->
+  ?retries:int ->
+  seed:int64 ->
+  Circuit.t ->
+  path:int array ->
+  direction:Robust.direction ->
+  outcome
+(** Default: 2000 backtracks per frame, 16 validation retries. *)
+
+type summary = {
+  testable : int;
+  untestable : int;
+  aborted : int;
+  unsupported : int;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val classify_all :
+  ?backtrack_limit:int ->
+  ?retries:int ->
+  ?max_paths:int ->
+  seed:int64 ->
+  Circuit.t ->
+  summary
+(** Run {!generate} on both polarities of every path (paths capped at
+    [max_paths], default 20_000; raises [Failure] beyond the cap). Used to
+    measure how many of the path faults a resynthesis removed were robustly
+    untestable — the paper's central testability claim. *)

@@ -1,0 +1,36 @@
+(** Random-pattern robust path-delay-fault campaigns (Table 7 machinery).
+
+    Path faults are indexed without materialising path lists: paths are
+    numbered in the DFS order of {!Paths.enumerate} using the Procedure-1
+    labels, and each path contributes two faults (rising and falling at its
+    primary input). Per test, the robustly-detected paths form the paths of
+    the subgraph of robustly-propagating gate pins; they are marked by a
+    backward DFS that touches only detected paths. *)
+
+type result = {
+  total_paths : int;
+  total_faults : int;  (** [2 * total_paths] *)
+  detected : int;
+  last_effective_pattern : int;  (** 1-based pair index; 0 if none *)
+  patterns_applied : int;  (** number of two-pattern tests *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val count_robust : Compiled.t -> Wave.t array -> int
+(** Number of path faults robustly detected by the loaded test (each path
+    detected in exactly one direction), counted by dynamic programming in
+    linear time. *)
+
+val run :
+  ?max_pairs:int ->
+  ?stop_window:int ->
+  ?max_marked_paths:int ->
+  seed:int64 ->
+  Circuit.t ->
+  result
+(** Apply random two-pattern tests until [stop_window] (default 20_000)
+    consecutive pairs detect nothing new, or [max_pairs] (default 2_000_000)
+    is reached. [max_marked_paths] (default 50_000_000) bounds total marking
+    work. Raises [Failure] if the circuit has more than 100 million path
+    faults. *)

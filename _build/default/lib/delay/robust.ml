@@ -1,0 +1,61 @@
+type direction = Rising | Falling
+
+let direction_to_string = function Rising -> "rising" | Falling -> "falling"
+
+let side_ok ~controlling ~onpath_final (w : Wave.t) =
+  match controlling with
+  | Some c ->
+    if onpath_final <> c then
+      (* on-path goes controlling -> non-controlling: sides steady nc, hf *)
+      w.Wave.init = not c && w.Wave.final = not c && w.Wave.hf
+    else
+      (* on-path goes to controlling: sides non-controlling in v2 *)
+      w.Wave.final = not c
+  | None -> (not (Wave.has_transition w)) && w.Wave.hf
+
+let propagates cmp waves ~from_ ~gate =
+  let wu = waves.(from_) in
+  let wg = waves.(gate) in
+  (* The on-path signal carries the transition ("T" of the classical
+     5-valued robust system); only side inputs have hazard requirements. *)
+  Wave.has_transition wu && Wave.has_transition wg
+  &&
+  match Compiled.kind cmp gate with
+  | Gate.Input -> false
+  | Gate.Const0 | Gate.Const1 -> false
+  | Gate.Buf | Gate.Not -> true
+  | (Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor) as k ->
+    let controlling = Gate.controlling k in
+    let fins = Compiled.fanins cmp gate in
+    let ok = ref true in
+    let onpath_seen = ref false in
+    Array.iter
+      (fun f ->
+        if f = from_ && not !onpath_seen then onpath_seen := true
+        else if
+          not (side_ok ~controlling ~onpath_final:wu.Wave.final waves.(f))
+        then ok := false)
+      fins;
+    !ok
+
+let detects cmp waves path =
+  let n = Array.length path in
+  if n = 0 then None
+  else begin
+    let pi = path.(0) in
+    let wpi = waves.(pi) in
+    if not (Wave.has_transition wpi) then None
+    else begin
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        if !ok && not (propagates cmp waves ~from_:path.(i) ~gate:path.(i + 1))
+        then ok := false
+      done;
+      if !ok then Some (if wpi.Wave.final then Rising else Falling) else None
+    end
+  end
+
+let detects_vectors c ~v1 ~v2 path =
+  let cmp = Compiled.of_circuit c in
+  let waves = Wave.simulate cmp ~v1 ~v2 in
+  detects cmp waves path

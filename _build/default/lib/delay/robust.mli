@@ -1,0 +1,34 @@
+(** Robust path-delay-fault sensitisation criteria (the classical 5-valued
+    system: S0, S1, U0, U1, T).
+
+    A two-pattern test robustly detects the delay fault on a path iff every
+    on-path line has a transition and at every gate along the path each
+    off-path input satisfies:
+    - stable non-controlling and hazard-free (S_nc), when the on-path input
+      transitions from the controlling to the non-controlling value;
+    - non-controlling in the final vector (U_nc, hazards tolerated), when the
+      on-path input transitions to the controlling value;
+    - stable and hazard-free for gates without a controlling value
+      (Xor/Xnor).
+    The fault's polarity is the transition direction at the path's primary
+    input. *)
+
+type direction = Rising | Falling
+
+val direction_to_string : direction -> string
+
+val propagates : Compiled.t -> Wave.t array -> from_:int -> gate:int -> bool
+(** Does the on-path transition on node [from_] robustly propagate through
+    [gate]? Requires hazard-free transitions on both [from_] and [gate] plus
+    the off-path conditions above. When [from_] feeds several pins of
+    [gate], every pin is treated as off-path for the others, which makes the
+    check conservative. *)
+
+val detects : Compiled.t -> Wave.t array -> int array -> direction option
+(** [detects cmp waves path] is [Some dir] iff the loaded two-pattern test
+    robustly detects the delay fault of [path] (node ids, primary input
+    first); [dir] is the transition direction at the primary input. *)
+
+val detects_vectors :
+  Circuit.t -> v1:bool array -> v2:bool array -> int array -> direction option
+(** Convenience wrapper simulating the pair first. *)

@@ -1,0 +1,1 @@
+lib/fault/campaign.ml: Array Circuit Compiled Fault Format Fsim Int64 Rng

@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Circuit Format Gate List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/fault/fsim.ml: Array Bytes Compiled Fault Gate Int64 List

@@ -1,0 +1,76 @@
+type result = {
+  total_faults : int;
+  detected : int;
+  remaining : int;
+  last_effective_pattern : int;
+  patterns_applied : int;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "faults %d, detected %d, remain %d, eff.patt %d (of %d)"
+    r.total_faults r.detected r.remaining r.last_effective_pattern
+    r.patterns_applied
+
+(* Index (0-based) of the lowest set bit; the mask must be non-zero. *)
+let lowest_bit mask =
+  let rec search i =
+    if Int64.logand (Int64.shift_right_logical mask i) 1L = 1L then i
+    else search (i + 1)
+  in
+  search 0
+
+let run_internal ?faults ?(max_patterns = 1_000_000) ~seed c =
+  let cmp = Compiled.of_circuit c in
+  let sim = Fsim.create cmp in
+  let fault_list =
+    match faults with Some fs -> Array.of_list fs | None -> Array.of_list (Fault.collapsed c)
+  in
+  let n_faults = Array.length fault_list in
+  let alive = Array.make n_faults true in
+  let alive_count = ref n_faults in
+  let rng = Rng.create seed in
+  let n_pi = Circuit.num_inputs c in
+  let last_effective = ref 0 in
+  let applied = ref 0 in
+  while !alive_count > 0 && !applied < max_patterns do
+    let batch = min 64 (max_patterns - !applied) in
+    let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
+    Fsim.load_patterns sim words;
+    let batch_mask =
+      if batch = 64 then -1L else Int64.sub (Int64.shift_left 1L batch) 1L
+    in
+    for i = 0 to n_faults - 1 do
+      if alive.(i) then begin
+        let mask = Int64.logand (Fsim.detect sim fault_list.(i)) batch_mask in
+        if mask <> 0L then begin
+          alive.(i) <- false;
+          decr alive_count;
+          let patt = !applied + lowest_bit mask + 1 in
+          if patt > !last_effective then last_effective := patt
+        end
+      end
+    done;
+    applied := !applied + batch
+  done;
+  let detected = n_faults - !alive_count in
+  ( {
+      total_faults = n_faults;
+      detected;
+      remaining = !alive_count;
+      last_effective_pattern = !last_effective;
+      patterns_applied = !applied;
+    },
+    fault_list,
+    alive )
+
+let run ?faults ?max_patterns ~seed c =
+  let r, _, _ = run_internal ?faults ?max_patterns ~seed c in
+  r
+
+let undetected ?faults ?max_patterns ~seed c =
+  let _, fault_list, alive = run_internal ?faults ?max_patterns ~seed c in
+  let acc = ref [] in
+  for i = Array.length fault_list - 1 downto 0 do
+    if alive.(i) then acc := fault_list.(i) :: !acc
+  done;
+  !acc

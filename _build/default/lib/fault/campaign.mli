@@ -1,0 +1,33 @@
+(** Random-pattern stuck-at testing campaigns (Table 6 machinery). *)
+
+type result = {
+  total_faults : int;
+  detected : int;
+  remaining : int;
+  last_effective_pattern : int;
+      (** 1-based index of the last pattern that detected a new fault;
+          0 if nothing was detected. *)
+  patterns_applied : int;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  ?faults:Fault.t list ->
+  ?max_patterns:int ->
+  seed:int64 ->
+  Circuit.t ->
+  result
+(** Apply uniform random patterns in 64-wide batches until every fault is
+    detected or [max_patterns] (default 1_000_000) is exhausted. The fault
+    list defaults to {!Fault.collapsed}. Detected faults are dropped from
+    simulation. Patterns inside a batch count as sequential, so
+    [last_effective_pattern] is exact. *)
+
+val undetected :
+  ?faults:Fault.t list ->
+  ?max_patterns:int ->
+  seed:int64 ->
+  Circuit.t ->
+  Fault.t list
+(** The faults left undetected by the same campaign. *)

@@ -1,0 +1,177 @@
+(* Min-heap over topo positions with lazy deduplication via a pending flag. *)
+module Heap = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 64 0; n = 0 }
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let bigger = Array.make (2 * h.n) 0 in
+      Array.blit h.a 0 bigger 0 h.n;
+      h.a <- bigger
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- x;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if h.a.(p) > h.a.(!i) then begin
+        let tmp = h.a.(p) in
+        h.a.(p) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && h.a.(l) < h.a.(!smallest) then smallest := l;
+        if r < h.n && h.a.(r) < h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = {
+  cmp : Compiled.t;
+  good : int64 array;
+  fval : int64 array;
+  touched : Bytes.t;
+  mutable touched_list : int list;
+  pending : Bytes.t;
+  heap : Heap.t;
+  mutable loaded : bool;
+}
+
+let create cmp =
+  let n = Compiled.size cmp in
+  {
+    cmp;
+    good = Array.make n 0L;
+    fval = Array.make n 0L;
+    touched = Bytes.make n '\000';
+    touched_list = [];
+    pending = Bytes.make n '\000';
+    heap = Heap.create ();
+    loaded = false;
+  }
+
+let load_patterns st pi_words =
+  Compiled.simulate_into st.cmp pi_words st.good;
+  st.loaded <- true
+
+let good_values st = st.good
+
+let value st id = if Bytes.get st.touched id = '\001' then st.fval.(id) else st.good.(id)
+
+(* The heap holds (topo_pos, id) encoded as one int so it orders by topo
+   position; ids are recovered on pop. *)
+let encode st id = ((Compiled.topo_index st.cmp).(id) * Compiled.size st.cmp) + id
+let decode st x = x mod Compiled.size st.cmp
+
+let schedule st id =
+  if Bytes.get st.pending id = '\000' then begin
+    Bytes.set st.pending id '\001';
+    Heap.push st.heap (encode st id)
+  end
+
+let set_value st id v =
+  if Bytes.get st.touched id = '\000' then begin
+    Bytes.set st.touched id '\001';
+    st.touched_list <- id :: st.touched_list
+  end;
+  st.fval.(id) <- v
+
+(* Evaluate gate [id] from current (possibly faulty) fanin values, applying a
+   branch-pin override when [id] is the faulted gate. *)
+let eval_gate st ~fault_gate ~fault_pin ~forced id =
+  let fins = Compiled.fanins st.cmp id in
+  let n = Array.length fins in
+  let pin_value i = if id = fault_gate && i = fault_pin then forced else value st fins.(i) in
+  match Compiled.kind st.cmp id with
+  | Gate.Input -> value st id
+  | Gate.Const0 -> 0L
+  | Gate.Const1 -> -1L
+  | Gate.Buf -> pin_value 0
+  | Gate.Not -> Int64.lognot (pin_value 0)
+  | Gate.And | Gate.Nand ->
+    let acc = ref (-1L) in
+    for i = 0 to n - 1 do
+      acc := Int64.logand !acc (pin_value i)
+    done;
+    if Compiled.kind st.cmp id = Gate.Nand then Int64.lognot !acc else !acc
+  | Gate.Or | Gate.Nor ->
+    let acc = ref 0L in
+    for i = 0 to n - 1 do
+      acc := Int64.logor !acc (pin_value i)
+    done;
+    if Compiled.kind st.cmp id = Gate.Nor then Int64.lognot !acc else !acc
+  | Gate.Xor | Gate.Xnor ->
+    let acc = ref 0L in
+    for i = 0 to n - 1 do
+      acc := Int64.logxor !acc (pin_value i)
+    done;
+    if Compiled.kind st.cmp id = Gate.Xnor then Int64.lognot !acc else !acc
+
+let reset st =
+  List.iter (fun id -> Bytes.set st.touched id '\000') st.touched_list;
+  st.touched_list <- []
+
+let detect st (f : Fault.t) =
+  if not st.loaded then invalid_arg "Fsim.detect: no patterns loaded";
+  let forced = if f.Fault.stuck then -1L else 0L in
+  let fault_gate, fault_pin =
+    match f.Fault.site with Fault.Branch (g, pin) -> (g, pin) | Fault.Stem _ -> (-1, -1)
+  in
+  (match f.Fault.site with
+  | Fault.Stem u ->
+    if forced <> st.good.(u) then begin
+      set_value st u forced;
+      Array.iter (fun g -> schedule st g) (Compiled.fanouts st.cmp u)
+    end
+  | Fault.Branch (g, _) -> schedule st g);
+  let rec drain () =
+    match Heap.pop st.heap with
+    | None -> ()
+    | Some x ->
+      let id = decode st x in
+      Bytes.set st.pending id '\000';
+      let v = eval_gate st ~fault_gate ~fault_pin ~forced id in
+      if v <> value st id then begin
+        set_value st id v;
+        Array.iter (fun g -> schedule st g) (Compiled.fanouts st.cmp id)
+      end;
+      drain ()
+  in
+  drain ();
+  let det = ref 0L in
+  List.iter
+    (fun id ->
+      if Compiled.is_po st.cmp id then
+        det := Int64.logor !det (Int64.logxor st.fval.(id) st.good.(id)))
+    st.touched_list;
+  reset st;
+  !det
+
+let detect_single st f vector =
+  let words = Array.map (fun b -> if b then 1L else 0L) vector in
+  load_patterns st words;
+  Int64.logand (detect st f) 1L <> 0L

@@ -1,0 +1,1 @@
+lib/gen/benchmarks.ml: Bench_format Circuit Circuit_gen Filename Hashtbl Int64 List Redundancy Sys

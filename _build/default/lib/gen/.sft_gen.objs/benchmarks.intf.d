@@ -1,0 +1,1 @@
+lib/gen/benchmarks.mli: Circuit Circuit_gen

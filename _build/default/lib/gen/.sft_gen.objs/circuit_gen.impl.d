@@ -1,0 +1,1 @@
+lib/gen/circuit_gen.ml: Array Check Circuit Cleanup Gate Hashtbl List Printf Rng

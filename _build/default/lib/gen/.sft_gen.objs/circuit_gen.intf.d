@@ -1,0 +1,1 @@
+lib/gen/circuit_gen.mli: Circuit

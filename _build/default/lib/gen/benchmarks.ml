@@ -1,0 +1,130 @@
+type entry = {
+  name : string;
+  profile : Circuit_gen.profile;
+  paper_inputs : int;
+  paper_outputs : int;
+  paper_gates2 : int;
+  paper_paths : int;
+}
+
+let mk name ~pi ~po ~gates ~depth ~combine ~xor ~seed ~paper:(pin, pout, pg, pp) =
+  {
+    name;
+    profile =
+      {
+        Circuit_gen.name;
+        n_pi = pi;
+        n_po = po;
+        n_gates = gates;
+        depth;
+        combine_pct = combine;
+        xor_pct = xor;
+        seed;
+      };
+    paper_inputs = pin;
+    paper_outputs = pout;
+    paper_gates2 = pg;
+    paper_paths = pp;
+  }
+
+(* Interface sizes follow the paper (Table 5); the four largest circuits are
+   scaled down (DESIGN.md, Sec. 7). Window sizes are calibrated so that the
+   depth and path-count orders of magnitude track the paper's circuits. *)
+let all =
+  [
+    mk "irs1423" ~pi:91 ~po:79 ~gates:560 ~depth:28 ~combine:20 ~xor:6 ~seed:1423L
+      ~paper:(91, 79, 491, 42_089);
+    mk "irs5378" ~pi:214 ~po:224 ~gates:1500 ~depth:15 ~combine:15 ~xor:3 ~seed:5378L
+      ~paper:(214, 224, 1394, 10_976);
+    mk "irs9234" ~pi:247 ~po:248 ~gates:2050 ~depth:25 ~combine:25 ~xor:4 ~seed:9234L
+      ~paper:(247, 248, 1929, 109_283);
+    mk "irs13207" ~pi:350 ~po:394 ~gates:1450 ~depth:26 ~combine:26 ~xor:3 ~seed:13207L
+      ~paper:(699, 788, 2737, 261_312);
+    mk "irs15850" ~pi:244 ~po:272 ~gates:1420 ~depth:40 ~combine:36 ~xor:4 ~seed:15850L
+      ~paper:(611, 680, 3361, 23_003_369);
+    mk "irs35932" ~pi:352 ~po:410 ~gates:2100 ~depth:12 ~combine:15 ~xor:2 ~seed:35932L
+      ~paper:(1763, 2048, 9900, 58_645);
+    mk "irs38417" ~pi:333 ~po:348 ~gates:2050 ~depth:30 ~combine:32 ~xor:3 ~seed:38417L
+      ~paper:(1664, 1742, 9698, 1_192_971);
+    mk "irs38584" ~pi:218 ~po:255 ~gates:1900 ~depth:28 ~combine:30 ~xor:3 ~seed:38584L
+      ~paper:(1455, 1700, 12037, 565_433);
+  ]
+
+let small =
+  List.filter
+    (fun e -> List.mem e.name [ "irs1423"; "irs5378"; "irs9234"; "irs13207" ])
+    all
+
+let find name = List.find (fun e -> e.name = name) all
+
+let cache : (string, Circuit.t) Hashtbl.t = Hashtbl.create 8
+
+(* Prepared circuits are also cached on disk so the expensive redundancy
+   removal runs once, not once per process. Candidate directories: the
+   SFT_DATA environment variable, then data/benchmarks relative to the
+   working directory and its parents (so `dune exec` from the repo works). *)
+let data_dirs () =
+  let env = match Sys.getenv_opt "SFT_DATA" with Some d -> [ d ] | None -> [] in
+  let rec parents acc dir depth =
+    if depth = 0 then List.rev acc
+    else
+      parents
+        (Filename.concat dir "data/benchmarks" :: acc)
+        (Filename.concat dir "..") (depth - 1)
+  in
+  env @ parents [] "." 5
+
+let cached_file name =
+  List.find_map
+    (fun dir ->
+      let path = Filename.concat dir (name ^ ".bench") in
+      if Sys.file_exists path then Some path else None)
+    (data_dirs ())
+
+let store_file name c =
+  match
+    List.find_opt
+      (fun dir -> Sys.file_exists dir && Sys.is_directory dir)
+      (data_dirs ())
+  with
+  | Some dir -> Bench_format.write_file (Filename.concat dir (name ^ ".bench")) c
+  | None -> ()
+
+let cached e = cached_file e.name <> None
+
+let prepare e =
+  let raw = Circuit_gen.generate e.profile in
+  let irredundant, _report =
+    Redundancy.make_irredundant ~backtrack_limit:400 ~prefilter_patterns:8192
+      ~seed:(Int64.add e.profile.Circuit_gen.seed 77L) raw
+  in
+  Circuit.set_name irredundant e.name;
+  irredundant
+
+let build e =
+  match Hashtbl.find_opt cache e.name with
+  | Some c -> Circuit.copy c
+  | None ->
+    let c =
+      match cached_file e.name with
+      | Some path -> Bench_format.read_file path
+      | None ->
+        let c = prepare e in
+        store_file e.name c;
+        c
+    in
+    Circuit.set_name c e.name;
+    Hashtbl.replace cache e.name c;
+    Circuit.copy c
+
+let c17_text =
+  "INPUT(G1)\nINPUT(G2)\nINPUT(G3)\nINPUT(G6)\nINPUT(G7)\n\
+   OUTPUT(G22)\nOUTPUT(G23)\n\
+   G10 = NAND(G1, G3)\n\
+   G11 = NAND(G3, G6)\n\
+   G16 = NAND(G2, G11)\n\
+   G19 = NAND(G11, G7)\n\
+   G22 = NAND(G10, G16)\n\
+   G23 = NAND(G16, G19)\n"
+
+let c17 () = Bench_format.of_string ~name:"c17" c17_text

@@ -1,0 +1,38 @@
+(** Registry of the stand-in benchmark circuits.
+
+    The paper uses the irredundant, fully-scanned ISCAS-89 circuits with more
+    than 10,000 paths (named [irs*]). Those netlists are not redistributable
+    here, so each entry is a deterministic synthetic circuit whose interface
+    size and structural shape follow the paper's Table 5 columns, with the
+    largest circuits scaled down for runtime (see DESIGN.md). Each circuit is
+    made irredundant with {!Redundancy} before use, exactly as the paper
+    prepares its inputs with [15]. *)
+
+type entry = {
+  name : string;
+  profile : Circuit_gen.profile;
+  paper_inputs : int;
+  paper_outputs : int;
+  paper_gates2 : int;  (** paper's original 2-input gate count *)
+  paper_paths : int;  (** paper's original path count *)
+}
+
+val all : entry list
+(** The eight [irs*] stand-ins, smallest first. *)
+
+val small : entry list
+(** The four circuits used in the paper's Tables 3 and 4. *)
+
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val build : entry -> Circuit.t
+(** Fresh copy of the irredundant stand-in. Preparation (generation +
+    redundancy removal) is memoised in memory and cached on disk under
+    [data/benchmarks/] (or [$SFT_DATA]), so it runs once per machine. *)
+
+val cached : entry -> bool
+(** Is the prepared circuit already on disk? ({!build} is cheap iff so.) *)
+
+val c17 : unit -> Circuit.t
+(** The classic 6-NAND ISCAS-85 toy circuit, for examples and tests. *)

@@ -1,0 +1,156 @@
+type profile = {
+  name : string;
+  n_pi : int;
+  n_po : int;
+  n_gates : int;
+  depth : int;
+  combine_pct : int;
+  xor_pct : int;
+  seed : int64;
+}
+
+let pick_kind rng xor_pct =
+  if Rng.int rng 100 < xor_pct then
+    if Rng.bool rng then Gate.Xor else Gate.Xnor
+  else
+    match Rng.int rng 10 with
+    | 0 | 1 -> Gate.And
+    | 2 | 3 -> Gate.Or
+    | 4 | 5 | 6 -> Gate.Nand
+    | 7 | 8 -> Gate.Nor
+    | _ -> Gate.Not
+
+let pick_arity rng kind =
+  match kind with
+  | Gate.Not -> 1
+  | Gate.Xor | Gate.Xnor -> 2
+  | _ -> (
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 | 5 -> 2
+    | 6 | 7 | 8 -> 3
+    | _ -> 4)
+
+let generate p =
+  if p.n_pi < 2 || p.n_gates < 1 || p.n_po < 1 || p.depth < 1 then
+    invalid_arg "Circuit_gen.generate: degenerate profile";
+  let rng = Rng.create p.seed in
+  let c = Circuit.create ~name:p.name () in
+  let pis =
+    Array.init p.n_pi (fun i -> Circuit.add_input ~name:(Printf.sprintf "i%d" i) c)
+  in
+  let depth = min p.depth (max 1 (p.n_gates / 2)) in
+  let levels = Array.make (depth + 1) [||] in
+  levels.(0) <- pis;
+  let read = Hashtbl.create (p.n_pi + p.n_gates) in
+  let unread_of level =
+    Array.to_list levels.(level)
+    |> List.filter (fun id -> not (Hashtbl.mem read id))
+  in
+  let any_of rng level = levels.(level).(Rng.int rng (Array.length levels.(level))) in
+  (* Distribute gates over levels, at least one per level. *)
+  let per_level = Array.make (depth + 1) 0 in
+  let remaining = ref p.n_gates in
+  for l = 1 to depth do
+    per_level.(l) <- 1;
+    decr remaining
+  done;
+  while !remaining > 0 do
+    let l = 1 + Rng.int rng depth in
+    per_level.(l) <- per_level.(l) + 1;
+    decr remaining
+  done;
+  for l = 1 to depth do
+    let fresh = ref [] in
+    let loose = ref (unread_of (l - 1)) in
+    for _ = 1 to per_level.(l) do
+      let kind = pick_kind rng p.xor_pct in
+      let arity = pick_arity rng kind in
+      let first =
+        match !loose with
+        | id :: rest ->
+          loose := rest;
+          id
+        | [] -> any_of rng (l - 1)
+      in
+      Hashtbl.replace read first ();
+      let seen = Hashtbl.create 4 in
+      Hashtbl.add seen first ();
+      let fanins = ref [ first ] in
+      let attempts = ref 0 in
+      while List.length !fanins < arity && !attempts < 20 do
+        incr attempts;
+        let f =
+          if Rng.int rng 100 < p.combine_pct then begin
+            (* reconverge: a node from a recent high level *)
+            let back = 1 + Rng.int rng (min 3 l) in
+            any_of rng (l - back)
+          end
+          else begin
+            (* fresh support: a primary input or a very low level *)
+            let low = Rng.int rng (1 + (l / 4)) in
+            any_of rng low
+          end
+        in
+        if not (Hashtbl.mem seen f) then begin
+          Hashtbl.add seen f ();
+          Hashtbl.replace read f ();
+          fanins := f :: !fanins
+        end
+      done;
+      let fanins = Array.of_list (List.rev !fanins) in
+      let kind = if Array.length fanins = 1 then Gate.Not else kind in
+      fresh := Circuit.add_gate c kind fanins :: !fresh
+    done;
+    levels.(l) <- Array.of_list (List.rev !fresh)
+  done;
+  (* Primary outputs: every loose end from the top levels first, then random
+     high-level gates. *)
+  let chosen = ref [] in
+  let l = ref depth in
+  while List.length !chosen < p.n_po && !l >= 1 do
+    List.iter
+      (fun id -> if List.length !chosen < p.n_po then chosen := id :: !chosen)
+      (unread_of !l);
+    decr l
+  done;
+  let fill_attempts = ref 0 in
+  while List.length !chosen < p.n_po do
+    incr fill_attempts;
+    let level = 1 + Rng.int rng depth in
+    let id = any_of rng level in
+    if (not (List.mem id !chosen)) || !fill_attempts > 20 * p.n_po then
+      chosen := id :: !chosen
+  done;
+  List.iteri
+    (fun i id -> Circuit.mark_output ~name:(Printf.sprintf "o%d" i) c id)
+    (List.rev !chosen);
+  (* Keep leftover loose ends observable: absorb each unchosen loose gate as
+     an extra fanin of some later-level And/Or-family gate. *)
+  let absorbable id =
+    match Circuit.kind c id with
+    | Gate.And | Gate.Or | Gate.Nand | Gate.Nor -> Circuit.fanin_count c id < 5
+    | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.Not | Gate.Xor
+    | Gate.Xnor -> false
+  in
+  for l = 1 to depth - 1 do
+    List.iter
+      (fun id ->
+        if not (List.mem id !chosen) then begin
+          let target_level = l + 1 + Rng.int rng (depth - l) in
+          let candidates =
+            Array.to_list levels.(target_level) |> List.filter absorbable
+          in
+          match candidates with
+          | [] -> ()
+          | cs ->
+            let t = List.nth cs (Rng.int rng (List.length cs)) in
+            let fins = Circuit.fanins c t in
+            if not (Array.exists (( = ) id) fins) then
+              Circuit.set_fanins c t (Array.append fins [| id |])
+        end)
+      (unread_of l)
+  done;
+  ignore (Circuit.sweep c);
+  Cleanup.simplify c;
+  Check.validate c;
+  c

@@ -1,0 +1,24 @@
+(** Deterministic synthetic benchmark circuits.
+
+    Circuits are built level by level so structural depth is controlled
+    directly. Each gate takes its first fanin from the previous level
+    (preferring nodes nothing reads yet, which keeps the logic observable);
+    the remaining fanins come from high levels with probability
+    [combine_pct]% — the knob that governs path-count growth, since the
+    Procedure-1 label of a gate multiplies only when several high-label
+    signals reconverge — and otherwise from primary inputs or low levels.
+    All randomness comes from the profile's seed. *)
+
+type profile = {
+  name : string;
+  n_pi : int;
+  n_po : int;
+  n_gates : int;
+  depth : int;  (** number of gate levels *)
+  combine_pct : int;  (** 0..100: how often extra fanins reconverge *)
+  xor_pct : int;  (** percentage of Xor/Xnor gates (0..100) *)
+  seed : int64;
+}
+
+val generate : profile -> Circuit.t
+(** Structurally valid, acyclic, swept and constant-folded. *)

@@ -1,0 +1,1 @@
+lib/logic/sop.ml: Array Circuit Format Gate Hashtbl List Printf Truthtable

@@ -1,0 +1,1 @@
+lib/logic/truthtable.ml: Array Buffer Bytes Char Format Hashtbl List Printf Stdlib

@@ -1,0 +1,153 @@
+type cube = {
+  mask : int;
+  value : int;
+}
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let cube_literals c = popcount c.mask
+let cube_covers c m = m land c.mask = c.value
+
+let pp_cube ~n ppf c =
+  if c.mask = 0 then Format.pp_print_string ppf "1"
+  else begin
+    let first = ref true in
+    for j = 0 to n - 1 do
+      let bit = 1 lsl (n - 1 - j) in
+      if c.mask land bit <> 0 then begin
+        if not !first then Format.pp_print_char ppf ' ';
+        first := false;
+        Format.fprintf ppf "x%d%s" (j + 1)
+          (if c.value land bit <> 0 then "" else "'")
+      end
+    done
+  end
+
+let primes t =
+  let n = Truthtable.arity t in
+  let full = (1 lsl n) - 1 in
+  let current = Hashtbl.create 97 in
+  List.iter
+    (fun m -> Hashtbl.replace current (full, m) ())
+    (Truthtable.minterms t);
+  let primes = ref [] in
+  let continue = ref (Hashtbl.length current > 0) in
+  let seen_level = ref current in
+  while !continue do
+    let level = !seen_level in
+    let next = Hashtbl.create 97 in
+    let merged = Hashtbl.create 97 in
+    Hashtbl.iter
+      (fun (mask, value) () ->
+        for j = 0 to n - 1 do
+          let bit = 1 lsl j in
+          if mask land bit <> 0 then begin
+            let partner = (mask, value lxor bit) in
+            if Hashtbl.mem level partner then begin
+              Hashtbl.replace merged (mask, value) ();
+              Hashtbl.replace merged partner ();
+              Hashtbl.replace next (mask land lnot bit, value land lnot bit) ()
+            end
+          end
+        done)
+      level;
+    Hashtbl.iter
+      (fun key () -> if not (Hashtbl.mem merged key) then primes := key :: !primes)
+      level;
+    seen_level := next;
+    continue := Hashtbl.length next > 0
+  done;
+  !primes
+  |> List.map (fun (mask, value) -> { mask; value })
+  |> List.sort_uniq compare
+
+let minimise t =
+  let ons = Truthtable.minterms t in
+  match ons with
+  | [] -> []
+  | _ :: _ ->
+    let ps = Array.of_list (primes t) in
+    let covered = Hashtbl.create 97 in
+    let chosen = ref [] in
+    let choose p =
+      chosen := p :: !chosen;
+      List.iter (fun m -> if cube_covers p m then Hashtbl.replace covered m ()) ons
+    in
+    (* essential primes *)
+    List.iter
+      (fun m ->
+        let covering = Array.to_list ps |> List.filter (fun p -> cube_covers p m) in
+        match covering with
+        | [ only ] when not (List.mem only !chosen) -> choose only
+        | _ -> ())
+      ons;
+    (* greedy cover of the rest *)
+    let remaining () = List.filter (fun m -> not (Hashtbl.mem covered m)) ons in
+    let rec cover () =
+      match remaining () with
+      | [] -> ()
+      | rest ->
+        let score p = List.length (List.filter (cube_covers p) rest) in
+        let best = ref None in
+        Array.iter
+          (fun p ->
+            let s = score p in
+            if s > 0 then
+              match !best with
+              | Some (bs, bp) when (bs, -cube_literals bp) >= (s, -cube_literals p) -> ()
+              | Some _ | None -> best := Some (s, p))
+          ps;
+        (match !best with
+        | Some (_, p) -> choose p
+        | None -> failwith "Sop.minimise: uncoverable minterm");
+        cover ()
+    in
+    cover ();
+    List.rev !chosen
+
+let literals cubes = List.fold_left (fun acc c -> acc + cube_literals c) 0 cubes
+
+let to_truthtable n cubes =
+  Truthtable.create n (fun m -> List.exists (fun c -> cube_covers c m) cubes)
+
+let to_circuit ?(name = "sop") n cubes =
+  let c = Circuit.create ~name () in
+  let inputs =
+    Array.init n (fun j -> Circuit.add_input ~name:(Printf.sprintf "y%d" (j + 1)) c)
+  in
+  let not_cache = Hashtbl.create 8 in
+  let negate id =
+    match Hashtbl.find_opt not_cache id with
+    | Some t -> t
+    | None ->
+      let t = Circuit.add_gate c Gate.Not [| id |] in
+      Hashtbl.add not_cache id t;
+      t
+  in
+  let term cube =
+    if cube.mask = 0 then Circuit.add_const c true
+    else begin
+      let lits = ref [] in
+      for j = n - 1 downto 0 do
+        let bit = 1 lsl (n - 1 - j) in
+        if cube.mask land bit <> 0 then
+          lits :=
+            (if cube.value land bit <> 0 then inputs.(j) else negate inputs.(j))
+            :: !lits
+      done;
+      match !lits with
+      | [ single ] -> single
+      | several -> Circuit.add_gate c Gate.And (Array.of_list several)
+    end
+  in
+  let out =
+    match List.map term cubes with
+    | [] -> Circuit.add_const c false
+    | [ single ] -> single
+    | several -> Circuit.add_gate c Gate.Or (Array.of_list several)
+  in
+  Circuit.mark_output ~name:"f" c out;
+  ignore (Circuit.sweep c);
+  c

@@ -1,0 +1,37 @@
+(** Two-level sum-of-products synthesis (Quine–McCluskey).
+
+    The paper's Section 2 example compares minimal SOP implementations of a
+    function by path count; this module produces such implementations: prime
+    implicants by iterated merging, then a greedy essential-first cover.
+    Exact at the prime-implicant level, greedy (near-minimal) at the covering
+    level — standard practice for the small functions involved (n <= 12). *)
+
+type cube = {
+  mask : int;  (** bit set where the variable is in the cube's support *)
+  value : int;  (** variable polarities on the support bits *)
+}
+(** Bit [n-1-j] (MSB-first, matching {!Truthtable}) describes variable
+    [x_(j+1)]. *)
+
+val cube_literals : cube -> int
+val cube_covers : cube -> int -> bool
+(** Does the cube contain the minterm? *)
+
+val pp_cube : n:int -> Format.formatter -> cube -> unit
+(** E.g. ["x1 x2' x4"]. *)
+
+val primes : Truthtable.t -> cube list
+(** All prime implicants, deterministic order. *)
+
+val minimise : Truthtable.t -> cube list
+(** A small prime cover of the ON-set: essential primes first, then greedy
+    by coverage. The empty list encodes the constant-false function. *)
+
+val literals : cube list -> int
+(** Total literal count of a cover. *)
+
+val to_truthtable : int -> cube list -> Truthtable.t
+
+val to_circuit : ?name:string -> int -> cube list -> Circuit.t
+(** AND-OR netlist with one shared inverter per complemented variable; a
+    constant node for trivial covers. Inputs named [y1..yn]. *)

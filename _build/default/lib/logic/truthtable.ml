@@ -1,0 +1,180 @@
+type t = { n : int; bits : Bytes.t }
+
+let max_arity = 16
+
+let check_arity n =
+  if n < 0 || n > max_arity then
+    invalid_arg (Printf.sprintf "Truthtable: arity %d out of [0, %d]" n max_arity)
+
+let nbytes n = max 1 (((1 lsl n) + 7) / 8)
+
+let make n = { n; bits = Bytes.make (nbytes n) '\000' }
+let arity t = t.n
+let size t = 1 lsl t.n
+
+let get t m =
+  if m < 0 || m >= size t then invalid_arg "Truthtable.get: minterm out of range";
+  Char.code (Bytes.get t.bits (m lsr 3)) land (1 lsl (m land 7)) <> 0
+
+let set_mut t m v =
+  let byte = m lsr 3 and bit = m land 7 in
+  let old = Char.code (Bytes.get t.bits byte) in
+  let fresh = if v then old lor (1 lsl bit) else old land lnot (1 lsl bit) in
+  Bytes.set t.bits byte (Char.chr (fresh land 0xff))
+
+let create n f =
+  check_arity n;
+  let t = make n in
+  for m = 0 to size t - 1 do
+    if f m then set_mut t m true
+  done;
+  t
+
+let set t m v =
+  if m < 0 || m >= size t then invalid_arg "Truthtable.set: minterm out of range";
+  let fresh = { n = t.n; bits = Bytes.copy t.bits } in
+  set_mut fresh m v;
+  fresh
+
+let const n v = create n (fun _ -> v)
+
+let var n i =
+  if i < 1 || i > n then invalid_arg "Truthtable.var: variable out of range";
+  create n (fun m -> m land (1 lsl (n - i)) <> 0)
+
+(* Mask off the padding bits of the last byte so equality/hash are canonical. *)
+let normalize t =
+  let total = size t in
+  if total land 7 <> 0 then begin
+    let last = Bytes.length t.bits - 1 in
+    let keep = (1 lsl (total land 7)) - 1 in
+    Bytes.set t.bits last (Char.chr (Char.code (Bytes.get t.bits last) land keep))
+  end;
+  t
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let compare a b =
+  let c = Stdlib.compare a.n b.n in
+  if c <> 0 then c else Bytes.compare a.bits b.bits
+
+let hash t = Hashtbl.hash (t.n, Bytes.to_string t.bits)
+
+let of_minterms n ms =
+  check_arity n;
+  let t = make n in
+  List.iter
+    (fun m ->
+      if m < 0 || m >= size t then invalid_arg "Truthtable.of_minterms: out of range";
+      set_mut t m true)
+    ms;
+  t
+
+let minterms t =
+  let acc = ref [] in
+  for m = size t - 1 downto 0 do
+    if get t m then acc := m :: !acc
+  done;
+  !acc
+
+let popcount t =
+  let k = ref 0 in
+  for m = 0 to size t - 1 do
+    if get t m then incr k
+  done;
+  !k
+
+let is_const t =
+  let p = popcount t in
+  if p = 0 then Some false else if p = size t then Some true else None
+
+let map2 f a b =
+  if a.n <> b.n then invalid_arg "Truthtable: arity mismatch";
+  let t = make a.n in
+  for i = 0 to Bytes.length t.bits - 1 do
+    Bytes.set t.bits i
+      (Char.chr (f (Char.code (Bytes.get a.bits i)) (Char.code (Bytes.get b.bits i)) land 0xff))
+  done;
+  normalize t
+
+let lnot a =
+  let t = make a.n in
+  for i = 0 to Bytes.length t.bits - 1 do
+    Bytes.set t.bits i (Char.chr (lnot (Char.code (Bytes.get a.bits i)) land 0xff))
+  done;
+  normalize t
+
+let land_ = map2 ( land )
+let lor_ = map2 ( lor )
+let lxor_ = map2 ( lxor )
+
+let cofactor t ~var v =
+  if var < 1 || var > t.n then invalid_arg "Truthtable.cofactor: variable out of range";
+  let n' = t.n - 1 in
+  let low_bits = t.n - var in
+  (* number of variables below x_var *)
+  let low_mask = (1 lsl low_bits) - 1 in
+  create n' (fun m ->
+      let high = m lsr low_bits and low = m land low_mask in
+      let m' = (high lsl (low_bits + 1)) lor ((if v then 1 else 0) lsl low_bits) lor low in
+      get t m')
+
+let depends_on t i = not (equal (cofactor t ~var:i true) (cofactor t ~var:i false))
+
+let support t =
+  let acc = ref [] in
+  for i = t.n downto 1 do
+    if depends_on t i then acc := i :: !acc
+  done;
+  !acc
+
+let permute t pi =
+  if Array.length pi <> t.n then invalid_arg "Truthtable.permute: bad permutation size";
+  let seen = Array.make (t.n + 1) false in
+  Array.iter
+    (fun v ->
+      if v < 1 || v > t.n || seen.(v) then
+        invalid_arg "Truthtable.permute: not a permutation";
+      seen.(v) <- true)
+    pi;
+  create t.n (fun m ->
+      let m' = ref 0 in
+      for j = 0 to t.n - 1 do
+        let bit = (m lsr (t.n - 1 - j)) land 1 in
+        if bit = 1 then m' := !m' lor (1 lsl (t.n - pi.(j)))
+      done;
+      get t !m')
+
+let interval n ~lo ~hi =
+  check_arity n;
+  if lo < 0 || hi >= 1 lsl n || lo > hi then
+    invalid_arg "Truthtable.interval: bad bounds";
+  create n (fun m -> lo <= m && m <= hi)
+
+let as_interval t =
+  match minterms t with
+  | [] -> None
+  | first :: rest ->
+    let rec consecutive prev = function
+      | [] -> Some (first, prev)
+      | m :: tl -> if m = prev + 1 then consecutive m tl else None
+    in
+    consecutive first rest
+
+let eval t inputs =
+  if Array.length inputs <> t.n then invalid_arg "Truthtable.eval: arity mismatch";
+  let m = ref 0 in
+  for j = 0 to t.n - 1 do
+    if inputs.(j) then m := !m lor (1 lsl (t.n - 1 - j))
+  done;
+  get t !m
+
+let to_string t =
+  let buf = Buffer.create (2 * Bytes.length t.bits) in
+  Buffer.add_string buf (Printf.sprintf "%d:" t.n);
+  for i = Bytes.length t.bits - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code (Bytes.get t.bits i)))
+  done;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

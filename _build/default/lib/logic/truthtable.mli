@@ -1,0 +1,67 @@
+(** Bit-packed truth tables for single-output functions of up to 16 inputs.
+
+    Minterm indexing follows the paper: input [x_1] is the {e most} significant
+    bit and [x_n] the least significant, so the minterm [x_1 x_2 ... x_n] has
+    decimal value [sum x_i * 2^(n-i)]. Internally bit [m] of the table is the
+    function value on minterm [m]. *)
+
+type t
+
+val arity : t -> int
+val create : int -> (int -> bool) -> t
+(** [create n f] tabulates [f] over minterms [0 .. 2^n - 1]. *)
+
+val const : int -> bool -> t
+val var : int -> int -> t
+(** [var n i] is the projection on variable [x_i] (1-based, MSB-first) as a
+    function of [n] inputs. *)
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val of_minterms : int -> int list -> t
+val minterms : t -> int list
+(** Increasing order. *)
+
+val popcount : t -> int
+val is_const : t -> bool option
+
+val lnot : t -> t
+val land_ : t -> t -> t
+val lor_ : t -> t -> t
+val lxor_ : t -> t -> t
+
+val cofactor : t -> var:int -> bool -> t
+(** [cofactor f ~var:i v] is the (n-1)-input function f with [x_i] fixed to
+    [v]; remaining variables keep their relative order. *)
+
+val depends_on : t -> int -> bool
+(** Does the function depend on variable [x_i]? *)
+
+val support : t -> int list
+(** Variables the function depends on, 1-based, increasing. *)
+
+val permute : t -> int array -> t
+(** [permute f pi] renames variables: position [j] (0-based) of the new
+    variable order is the old variable [pi.(j)] (1-based). I.e. the new
+    function [g(x_1..x_n) = f(y_1..y_n)] where new variable [x_(j+1)] feeds
+    old variable slot [pi.(j)]. *)
+
+val interval : int -> lo:int -> hi:int -> t
+(** Function that is 1 exactly on minterms in [lo..hi] (requires
+    [0 <= lo <= hi < 2^n]). *)
+
+val as_interval : t -> (int * int) option
+(** [Some (l, u)] iff the ON-set is exactly the non-empty contiguous range
+    [l..u] under the identity variable order. *)
+
+val eval : t -> bool array -> bool
+(** [eval f inputs] with [inputs.(0)] = [x_1] (MSB). *)
+
+val to_string : t -> string
+(** Hex string, MSB minterm first; for debugging and hashing. *)
+
+val pp : Format.formatter -> t -> unit

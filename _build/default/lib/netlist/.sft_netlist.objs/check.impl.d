@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array Buffer Circuit Format Gate List

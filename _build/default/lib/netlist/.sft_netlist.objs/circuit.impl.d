@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Bytes Format Gate List Printf

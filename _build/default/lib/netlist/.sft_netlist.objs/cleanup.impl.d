@@ -1,0 +1,1 @@
+lib/netlist/cleanup.ml: Array Circuit Gate Hashtbl List

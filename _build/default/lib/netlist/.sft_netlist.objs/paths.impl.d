@@ -1,0 +1,1 @@
+lib/netlist/paths.ml: Array Circuit Gate List

@@ -1,0 +1,1 @@
+lib/netlist/paths.mli: Circuit

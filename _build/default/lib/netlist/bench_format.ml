@@ -1,0 +1,186 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+type stmt =
+  | S_input of string
+  | S_output of string
+  | S_def of string * Gate.kind * string list
+
+let strip s = String.trim s
+
+let split_args s =
+  String.split_on_char ',' s |> List.map strip |> List.filter (fun x -> x <> "")
+
+(* "KIND(a, b, c)" -> (KIND, [a;b;c]) *)
+let parse_rhs lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno "expected KIND(args)"
+  | Some i ->
+    let kind_str = strip (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let j =
+      match String.rindex_opt rest ')' with
+      | None -> fail lineno "missing closing parenthesis"
+      | Some j -> j
+    in
+    let args = split_args (String.sub rest 0 j) in
+    let kind =
+      match Gate.of_string kind_str with
+      | Some k -> k
+      | None -> fail lineno (Printf.sprintf "unknown gate kind %S" kind_str)
+    in
+    (kind, args)
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = strip line in
+  if line = "" then None
+  else
+    let upper = String.uppercase_ascii line in
+    let directive prefix =
+      if String.length upper >= String.length prefix
+         && String.sub upper 0 (String.length prefix) = prefix
+      then begin
+        let rest = String.sub line (String.length prefix) (String.length line - String.length prefix) in
+        let rest = strip rest in
+        if String.length rest < 2 || rest.[0] <> '(' || rest.[String.length rest - 1] <> ')'
+        then fail lineno "expected (name)"
+        else Some (strip (String.sub rest 1 (String.length rest - 2)))
+      end
+      else None
+    in
+    match directive "INPUT" with
+    | Some n -> Some (S_input n)
+    | None -> (
+      match directive "OUTPUT" with
+      | Some n -> Some (S_output n)
+      | None -> (
+        match String.index_opt line '=' with
+        | None -> fail lineno "expected INPUT(...), OUTPUT(...) or name = KIND(...)"
+        | Some i ->
+          let lhs = strip (String.sub line 0 i) in
+          if lhs = "" then fail lineno "empty signal name";
+          let rhs = strip (String.sub line (i + 1) (String.length line - i - 1)) in
+          let kind, args = parse_rhs lineno rhs in
+          Some (S_def (lhs, kind, args))))
+
+let of_string ?(name = "bench") text =
+  let stmts =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter_map (fun (i, l) ->
+           Option.map (fun s -> (i, s)) (parse_line i l))
+  in
+  let c = Circuit.create ~name () in
+  let defs : (string, int * Gate.kind * string list) Hashtbl.t = Hashtbl.create 97 in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 97 in
+  let outputs = ref [] in
+  List.iter
+    (fun (lineno, s) ->
+      match s with
+      | S_input n ->
+        if Hashtbl.mem ids n then fail lineno (Printf.sprintf "duplicate signal %S" n);
+        Hashtbl.add ids n (Circuit.add_input ~name:n c)
+      | S_output n -> outputs := (lineno, n) :: !outputs
+      | S_def (n, k, args) ->
+        if Hashtbl.mem ids n || Hashtbl.mem defs n then
+          fail lineno (Printf.sprintf "duplicate signal %S" n);
+        Hashtbl.add defs n (lineno, k, args))
+    stmts;
+  let visiting = Hashtbl.create 16 in
+  let rec resolve lineno n =
+    match Hashtbl.find_opt ids n with
+    | Some id -> id
+    | None -> (
+      match Hashtbl.find_opt defs n with
+      | None -> fail lineno (Printf.sprintf "undefined signal %S" n)
+      | Some (dl, k, args) ->
+        if Hashtbl.mem visiting n then fail dl (Printf.sprintf "cycle through %S" n);
+        Hashtbl.add visiting n ();
+        let fanins = Array.of_list (List.map (resolve dl) args) in
+        Hashtbl.remove visiting n;
+        let id =
+          match k, Array.length fanins with
+          | Gate.Const0, 0 -> Circuit.add_const ~name:n c false
+          | Gate.Const1, 0 -> Circuit.add_const ~name:n c true
+          | Gate.Input, _ -> fail dl "INPUT used as a gate kind"
+          | k, _ -> (
+            try Circuit.add_gate ~name:n c k fanins
+            with Invalid_argument m -> fail dl m)
+        in
+        Hashtbl.add ids n id;
+        id)
+  in
+  Hashtbl.iter (fun n (dl, _, _) -> ignore (resolve dl n)) defs;
+  List.iter
+    (fun (lineno, n) -> Circuit.mark_output ~name:n c (resolve lineno n))
+    (List.rev !outputs);
+  c
+
+let node_names c =
+  let names = Array.make (Circuit.size c) "" in
+  let used = Hashtbl.create 97 in
+  Circuit.iter_live c (fun id ->
+      let base =
+        match Circuit.node_name c id with
+        | Some s when s <> "" -> s
+        | Some _ | None -> Printf.sprintf "n%d" id
+      in
+      let unique =
+        if not (Hashtbl.mem used base) then base
+        else begin
+          let rec try_suffix k =
+            let cand = Printf.sprintf "%s_%d" base k in
+            if Hashtbl.mem used cand then try_suffix (k + 1) else cand
+          in
+          try_suffix 2
+        end
+      in
+      Hashtbl.add used unique ();
+      names.(id) <- unique);
+  names
+
+let to_string c =
+  let names = node_names c in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Circuit.name c));
+  Array.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" names.(id)))
+    (Circuit.inputs c);
+  Array.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" names.(id)))
+    (Circuit.outputs c);
+  let order = Circuit.topo_order c in
+  Array.iter
+    (fun id ->
+      match Circuit.kind c id with
+      | Gate.Input -> ()
+      | Gate.Const0 -> Buffer.add_string buf (Printf.sprintf "%s = CONST0()\n" names.(id))
+      | Gate.Const1 -> Buffer.add_string buf (Printf.sprintf "%s = CONST1()\n" names.(id))
+      | k ->
+        let args =
+          Circuit.fanins c id |> Array.to_list
+          |> List.map (fun f -> names.(f))
+          |> String.concat ", "
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" names.(id) (Gate.to_string k) args))
+    order;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string ~name:(Filename.remove_extension (Filename.basename path)) text
+
+let write_file path c =
+  let oc = open_out_bin path in
+  output_string oc (to_string c);
+  close_out oc

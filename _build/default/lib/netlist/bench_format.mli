@@ -1,0 +1,18 @@
+(** ISCAS-style [.bench] netlist format.
+
+    Grammar (comments start with [#]):
+    {v
+    INPUT(name)
+    OUTPUT(name)
+    name = KIND(name, name, ...)
+    v}
+    Supported kinds: AND, OR, NAND, NOR, NOT/INV, BUF/BUFF, XOR, XNOR,
+    CONST0/GND, CONST1/VDD. Definitions may appear in any order. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val of_string : ?name:string -> string -> Circuit.t
+val to_string : Circuit.t -> string
+val read_file : string -> Circuit.t
+val write_file : string -> Circuit.t -> unit

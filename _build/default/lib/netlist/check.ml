@@ -1,0 +1,51 @@
+type problem =
+  | Dead_fanin of int * int
+  | Bad_arity of int
+  | Cycle
+  | Dead_output of int
+  | Duplicate_fanin of int * int
+
+let pp_problem ppf = function
+  | Dead_fanin (g, f) -> Format.fprintf ppf "gate %d has dead fanin %d" g f
+  | Bad_arity g -> Format.fprintf ppf "gate %d has invalid arity" g
+  | Cycle -> Format.fprintf ppf "combinational cycle"
+  | Dead_output o -> Format.fprintf ppf "primary output designates dead node %d" o
+  | Duplicate_fanin (g, f) -> Format.fprintf ppf "gate %d repeats fanin %d" g f
+
+let problems c =
+  let probs = ref [] in
+  let add p = probs := p :: !probs in
+  Circuit.iter_live c (fun id ->
+      let k = Circuit.kind c id in
+      let fins = Circuit.fanins c id in
+      let n = Array.length fins in
+      if n < Gate.min_arity k then add (Bad_arity id);
+      (match Gate.max_arity k with
+      | Some m when n > m -> add (Bad_arity id)
+      | Some _ | None -> ());
+      Array.iter (fun f -> if not (Circuit.is_alive c f) then add (Dead_fanin (id, f))) fins;
+      (match k with
+      | Gate.And | Gate.Or | Gate.Nand | Gate.Nor ->
+        let sorted = Array.copy fins in
+        Array.sort compare sorted;
+        for i = 1 to n - 1 do
+          if sorted.(i) = sorted.(i - 1) then add (Duplicate_fanin (id, sorted.(i)))
+        done
+      | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.Not | Gate.Xor
+      | Gate.Xnor -> ()));
+  Array.iter
+    (fun o -> if not (Circuit.is_alive c o) then add (Dead_output o))
+    (Circuit.outputs c);
+  (try ignore (Circuit.topo_order c) with Failure _ -> add Cycle);
+  List.rev !probs
+
+let validate c =
+  match problems c with
+  | [] -> ()
+  | ps ->
+    let buf = Buffer.create 128 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "circuit %s is malformed:@ " (Circuit.name c);
+    List.iter (fun p -> Format.fprintf ppf "%a;@ " pp_problem p) ps;
+    Format.pp_print_flush ppf ();
+    failwith (Buffer.contents buf)

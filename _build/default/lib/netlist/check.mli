@@ -1,0 +1,18 @@
+(** Structural validation of circuits. *)
+
+type problem =
+  | Dead_fanin of int * int  (** gate, fanin id *)
+  | Bad_arity of int
+  | Cycle
+  | Dead_output of int
+  | Duplicate_fanin of int * int  (** gate, repeated fanin id *)
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val problems : Circuit.t -> problem list
+(** Structural problems; empty list means the circuit is well-formed.
+    [Duplicate_fanin] is reported only for And/Or/Nand/Nor gates, where a
+    repeated fanin is almost always a rewrite bug. *)
+
+val validate : Circuit.t -> unit
+(** Raises [Failure] with a description if {!problems} is non-empty. *)

@@ -1,0 +1,140 @@
+let is_const c id =
+  match Circuit.kind c id with
+  | Gate.Const0 -> Some false
+  | Gate.Const1 -> Some true
+  | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand
+  | Gate.Nor | Gate.Xor | Gate.Xnor -> None
+
+(* Rewrite one gate given the constness of its fanins. Returns true if the
+   node was changed. *)
+let fold_gate c id =
+  let k = Circuit.kind c id in
+  match k with
+  | Gate.Input | Gate.Const0 | Gate.Const1 -> false
+  | Gate.Buf | Gate.Not -> (
+    let f = (Circuit.fanins c id).(0) in
+    match is_const c f with
+    | None -> false
+    | Some v ->
+      let v = if k = Gate.Not then not v else v in
+      Circuit.replace_node c id (if v then Gate.Const1 else Gate.Const0) [||];
+      true)
+  | Gate.And | Gate.Or | Gate.Nand | Gate.Nor -> (
+    let controlling =
+      match Gate.controlling k with Some b -> b | None -> assert false
+    in
+    let invert = Gate.inverting k in
+    let fins = Circuit.fanins c id in
+    let hit_controlling = ref false in
+    let kept = ref [] in
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun f ->
+        match is_const c f with
+        | Some v when v = controlling -> hit_controlling := true
+        | Some _ -> () (* non-controlling constant: drop *)
+        | None ->
+          if not (Hashtbl.mem seen f) then begin
+            Hashtbl.add seen f ();
+            kept := f :: !kept
+          end)
+      fins;
+    let const b = Circuit.replace_node c id (if b then Gate.Const1 else Gate.Const0) [||] in
+    if !hit_controlling then begin
+      const (controlling <> invert);
+      true
+    end
+    else
+      match List.rev !kept with
+      | [] ->
+        (* all fanins were non-controlling constants *)
+        const (not controlling <> invert);
+        true
+      | [ f ] ->
+        Circuit.replace_node c id (if invert then Gate.Not else Gate.Buf) [| f |];
+        true
+      | fs ->
+        if List.length fs < Array.length fins then begin
+          Circuit.replace_node c id k (Array.of_list fs);
+          true
+        end
+        else false)
+  | Gate.Xor | Gate.Xnor -> (
+    let fins = Circuit.fanins c id in
+    let parity = ref (k = Gate.Xnor) in
+    (* Count occurrences of each non-constant fanin; pairs cancel. *)
+    let occ = Hashtbl.create 8 in
+    Array.iter
+      (fun f ->
+        match is_const c f with
+        | Some v -> if v then parity := not !parity
+        | None ->
+          let n = try Hashtbl.find occ f with Not_found -> 0 in
+          Hashtbl.replace occ f (n + 1))
+      fins;
+    let kept =
+      Array.to_list fins
+      |> List.filter_map (fun f ->
+             match Hashtbl.find_opt occ f with
+             | Some n when n land 1 = 1 ->
+               Hashtbl.replace occ f 0;
+               (* keep first odd occurrence only *)
+               Some f
+             | Some _ | None -> None)
+    in
+    match kept with
+    | [] ->
+      Circuit.replace_node c id (if !parity then Gate.Const1 else Gate.Const0) [||];
+      true
+    | [ f ] ->
+      Circuit.replace_node c id (if !parity then Gate.Not else Gate.Buf) [| f |];
+      true
+    | fs ->
+      let changed = List.length fs < Array.length fins || !parity <> (k = Gate.Xnor) in
+      if changed then begin
+        Circuit.replace_node c id
+          (if !parity then Gate.Xnor else Gate.Xor)
+          (Array.of_list fs);
+        true
+      end
+      else false)
+
+let propagate_constants c =
+  let order = Circuit.topo_order c in
+  let changed = ref 0 in
+  Array.iter (fun id -> if fold_gate c id then incr changed) order;
+  !changed
+
+let collapse_wires c =
+  let order = Circuit.topo_order c in
+  let changed = ref 0 in
+  Array.iter
+    (fun id ->
+      if Circuit.is_alive c id then
+        match Circuit.kind c id with
+        | Gate.Buf ->
+          let f = (Circuit.fanins c id).(0) in
+          Circuit.retarget c ~from_:id ~to_:f;
+          incr changed
+        | Gate.Not -> (
+          let f = (Circuit.fanins c id).(0) in
+          match Circuit.kind c f with
+          | Gate.Not ->
+            let g = (Circuit.fanins c f).(0) in
+            Circuit.retarget c ~from_:id ~to_:g;
+            incr changed
+          | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.And
+          | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor -> ())
+        | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.And | Gate.Or
+        | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor -> ())
+    order;
+  !changed
+
+let simplify c =
+  let rec loop () =
+    let a = propagate_constants c in
+    let b = collapse_wires c in
+    let s = Circuit.sweep c in
+    if a + b + s > 0 then loop ()
+  in
+  loop ()

@@ -1,0 +1,19 @@
+(** Local structural simplifications.
+
+    These rewrites preserve the circuit function. They are used after
+    redundancy removal (constants appear when untestable lines are tied off)
+    and after comparison-unit splicing (degenerate blocks reduce to wires). *)
+
+val propagate_constants : Circuit.t -> int
+(** One topological pass folding constant and duplicate fanins:
+    controlled gates collapse on a controlling constant, non-controlling
+    constants are dropped, XOR parity absorbs constants, repeated fanins of
+    And/Or/Nand/Nor are deduplicated and XOR pairs cancel. Gates left with a
+    single fanin become Buf/Not. Returns the number of nodes rewritten. *)
+
+val collapse_wires : Circuit.t -> int
+(** Retarget fanouts of Buf gates to their fanin and collapse Not-of-Not
+    chains. Returns the number of wires collapsed. *)
+
+val simplify : Circuit.t -> unit
+(** [propagate_constants], [collapse_wires] and {!Circuit.sweep} to fixpoint. *)

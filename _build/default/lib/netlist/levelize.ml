@@ -1,0 +1,49 @@
+let compute ~gate_weight c =
+  let lev = Array.make (Circuit.size c) (-1) in
+  let order = Circuit.topo_order c in
+  Array.iter
+    (fun id ->
+      match Circuit.kind c id with
+      | Gate.Input | Gate.Const0 | Gate.Const1 -> lev.(id) <- 0
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        let m =
+          Array.fold_left (fun acc f -> max acc lev.(f)) 0 (Circuit.fanins c id)
+        in
+        lev.(id) <- m + gate_weight (Circuit.kind c id))
+    order;
+  lev
+
+let unit_weight (_ : Gate.kind) = 1
+
+let logic_weight = function
+  | Gate.Buf | Gate.Not -> 0
+  | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.And | Gate.Or | Gate.Nand
+  | Gate.Nor | Gate.Xor | Gate.Xnor -> 1
+
+let levels c = compute ~gate_weight:unit_weight c
+let logic_levels c = compute ~gate_weight:logic_weight c
+
+let max_over_outputs lev c =
+  Array.fold_left (fun acc o -> max acc lev.(o)) 0 (Circuit.outputs c)
+
+let depth c = max_over_outputs (levels c) c
+let depth_logic c = max_over_outputs (logic_levels c) c
+
+let longest_path c =
+  let lev = levels c in
+  let outs = Circuit.outputs c in
+  if Array.length outs = 0 then failwith "Levelize.longest_path: no outputs";
+  let best = ref outs.(0) in
+  Array.iter (fun o -> if lev.(o) > lev.(!best) then best := o) outs;
+  let rec ascend acc id =
+    let acc = id :: acc in
+    let fins = Circuit.fanins c id in
+    if Array.length fins = 0 then acc
+    else begin
+      let deepest = ref fins.(0) in
+      Array.iter (fun f -> if lev.(f) > lev.(!deepest) then deepest := f) fins;
+      ascend acc !deepest
+    end
+  in
+  Array.of_list (ascend [] !best)

@@ -1,0 +1,20 @@
+(** Logic levels and structural depth. *)
+
+val levels : Circuit.t -> int array
+(** Level per node id: inputs/constants are 0, a gate is 1 + max fanin level.
+    Dead nodes get -1. Buffers and inverters count as a level here; use
+    {!depth_logic} for the paper's "gates on the longest path" metric. *)
+
+val depth : Circuit.t -> int
+(** Max level over primary outputs. *)
+
+val logic_levels : Circuit.t -> int array
+(** Like {!levels} but buffers and inverters are transparent (add 0). *)
+
+val depth_logic : Circuit.t -> int
+(** Max logic level over primary outputs: number of (non-inverter) gates on
+    the longest input-to-output path. *)
+
+val longest_path : Circuit.t -> int array
+(** One maximum-level path, as node ids from a primary input to a primary
+    output. Raises [Failure] on a circuit with no outputs. *)

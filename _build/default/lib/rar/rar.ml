@@ -1,0 +1,261 @@
+type options = {
+  max_additions : int;
+  max_trials : int;
+  sim_patterns : int;
+  backtrack_limit : int;  (* proof budget for wire additions *)
+  removal_backtracks : int;  (* proof budget inside redundancy removal *)
+  seed : int64;
+}
+
+let default_options =
+  {
+    max_additions = 40;
+    max_trials = 400;
+    sim_patterns = 1024;
+    backtrack_limit = 500;
+    removal_backtracks = 120;
+    seed = 1L;
+  }
+
+type stats = {
+  additions : int;
+  removals : int;
+  gates_before : int;
+  gates_after : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d additions, %d removals; gates %d -> %d" s.additions
+    s.removals s.gates_before s.gates_after
+
+let is_andor c id =
+  match Circuit.kind c id with
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor -> true
+  | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.Not | Gate.Xor
+  | Gate.Xnor -> false
+
+(* Bit-parallel node values over several 64-pattern batches. *)
+let sim_batches c ~patterns ~seed =
+  let cmp = Compiled.of_circuit c in
+  let rng = Rng.create seed in
+  let n_pi = Array.length (Compiled.inputs cmp) in
+  let batches = max 1 ((patterns + 63) / 64) in
+  Array.init batches (fun _ ->
+      Compiled.simulate cmp (Array.init n_pi (fun _ -> Rng.next64 rng)))
+
+(* Does the simulation show gd's and/or-phase at the non-controlled value
+   while ns is at the controlling value? If so the wire addition would change
+   gd's local function on some simulated pattern. *)
+let filter_passes c values_batches gd ns =
+  let kind = Circuit.kind c gd in
+  let invert = Gate.inverting kind in
+  let or_like = match kind with Gate.Or | Gate.Nor -> true | _ -> false in
+  Array.for_all
+    (fun values ->
+      let out = if invert then Int64.lognot values.(gd) else values.(gd) in
+      let conflict =
+        if or_like then Int64.logand (Int64.lognot out) values.(ns)
+        else Int64.logand out (Int64.lognot values.(ns))
+      in
+      conflict = 0L)
+    values_batches
+
+let transitive_fanout c gd =
+  let seen = Bytes.make (Circuit.size c) '\000' in
+  let rec mark id =
+    if Bytes.get seen id = '\000' then begin
+      Bytes.set seen id '\001';
+      List.iter mark (Circuit.fanouts c id)
+    end
+  in
+  mark gd;
+  seen
+
+(* Add [ns] as an extra input of [gd] and prove the addition redundant: the
+   new pin's stuck-at-non-controlling fault must be untestable. On failure
+   the gate is restored. *)
+let try_addition opts c gd ns =
+  let old_fanins = Array.copy (Circuit.fanins c gd) in
+  let pin = Array.length old_fanins in
+  let kind = Circuit.kind c gd in
+  let stuck_nc =
+    match Gate.controlling kind with
+    | Some controlling -> not controlling
+    | None -> assert false
+  in
+  Circuit.set_fanins c gd (Array.append old_fanins [| ns |]);
+  let fault = { Fault.site = Fault.Branch (gd, pin); stuck = stuck_nc } in
+  match Podem.generate ~backtrack_limit:opts.backtrack_limit c fault with
+  | Podem.Untestable -> true
+  | Podem.Test _ | Podem.Aborted ->
+    Circuit.set_fanins c gd old_fanins;
+    false
+
+(* Merge functionally equivalent (or complementary) gates: candidates share a
+   64xB-bit simulation signature; each pair is then proved by justification
+   search on a temporary XOR/XNOR (UNSAT <=> equivalent). The survivor is the
+   topologically earliest node, so retargeting cannot create cycles. This is
+   the node-substitution move of RAR-family optimizers. *)
+let merge_equivalents opts c ~seed =
+  let batches = sim_batches c ~patterns:opts.sim_patterns ~seed in
+  let order = Circuit.topo_order c in
+  let topo_pos = Array.make (Circuit.size c) max_int in
+  Array.iteri (fun i id -> topo_pos.(id) <- i) order;
+  let signature id =
+    let buf = Buffer.create 64 in
+    Array.iter (fun values -> Buffer.add_string buf (Int64.to_string values.(id))) batches;
+    Buffer.contents buf
+  in
+  let inv_signature id =
+    let buf = Buffer.create 64 in
+    Array.iter
+      (fun values -> Buffer.add_string buf (Int64.to_string (Int64.lognot values.(id))))
+      batches;
+    Buffer.contents buf
+  in
+  let groups : (string, int list) Hashtbl.t = Hashtbl.create 97 in
+  Array.iter
+    (fun id ->
+      match Circuit.kind c id with
+      | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+      | _ ->
+        let key = signature id in
+        Hashtbl.replace groups key (id :: (try Hashtbl.find groups key with Not_found -> [])))
+    order;
+  let prove_equal ~complement a b =
+    let kind = if complement then Gate.Xnor else Gate.Xor in
+    let probe = Circuit.add_gate c kind [| a; b |] in
+    let verdict = Justify.search ~backtrack_limit:opts.removal_backtracks c [ (probe, true) ] in
+    Circuit.delete c probe;
+    verdict = Justify.Unsat
+  in
+  let merged = ref 0 in
+  let try_merge ~complement rep m =
+    if
+      Circuit.is_alive c rep && Circuit.is_alive c m && rep <> m
+      && topo_pos.(rep) < topo_pos.(m)
+      && prove_equal ~complement rep m
+    then begin
+      let target =
+        if complement then Circuit.add_gate c Gate.Not [| rep |] else rep
+      in
+      Circuit.retarget c ~from_:m ~to_:target;
+      ignore (Circuit.sweep c);
+      incr merged
+    end
+  in
+  Hashtbl.iter
+    (fun _key members ->
+      match List.sort (fun a b -> compare topo_pos.(a) topo_pos.(b)) members with
+      | [] | [ _ ] -> ()
+      | rep :: rest -> List.iter (fun m -> try_merge ~complement:false rep m) rest)
+    groups;
+  (* complementary pairs: a gate whose inverted signature matches another *)
+  Array.iter
+    (fun id ->
+      if Circuit.is_alive c id then
+        match Circuit.kind c id with
+        | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+        | _ -> (
+          match Hashtbl.find_opt groups (inv_signature id) with
+          | None -> ()
+          | Some members ->
+            List.iter
+              (fun m ->
+                if Circuit.is_alive c m && topo_pos.(id) < topo_pos.(m) then
+                  try_merge ~complement:true id m)
+              members))
+    order;
+  !merged
+
+let optimize ?(options = default_options) c =
+  let opts = options in
+  let rng = Rng.create opts.seed in
+  let gates_before = Circuit.two_input_gate_count c in
+  let removals = ref 0 in
+  let additions = ref 0 in
+  let removal_seed = ref (Rng.next64 rng) in
+  let remove () =
+    let r =
+      Redundancy.remove ~backtrack_limit:opts.removal_backtracks
+        ~prefilter_patterns:16_384 ~seed:!removal_seed c
+    in
+    removal_seed := Rng.next64 rng;
+    removals := !removals + r.Redundancy.removed
+  in
+  remove ();
+  (* node substitution rounds: merge equivalent/complementary gates, then
+     clean up, until no merge is found *)
+  let rec merge_rounds n =
+    if n > 0 then begin
+      let merged = merge_equivalents opts c ~seed:(Rng.next64 rng) in
+      removals := !removals + merged;
+      if merged > 0 then begin
+        remove ();
+        merge_rounds (n - 1)
+      end
+    end
+  in
+  merge_rounds 4;
+  let improving = ref true in
+  while !improving && !additions < opts.max_additions do
+    improving := false;
+    let values = sim_batches c ~patterns:opts.sim_patterns ~seed:(Rng.next64 rng) in
+    let nodes =
+      let acc = ref [] in
+      Circuit.iter_live c (fun id -> acc := id :: !acc);
+      Array.of_list !acc
+    in
+    let gates = Array.of_list (List.filter (is_andor c) (Array.to_list nodes)) in
+    Rng.shuffle rng gates;
+    let trials = ref 0 in
+    let gi = ref 0 in
+    while (not !improving) && !trials < opts.max_trials && !gi < Array.length gates do
+      let gd = gates.(!gi) in
+      incr gi;
+      if Circuit.is_alive c gd && is_andor c gd then begin
+        let tfo = transitive_fanout c gd in
+        let already = Array.to_list (Circuit.fanins c gd) in
+        let sources = Array.copy nodes in
+        Rng.shuffle rng sources;
+        let si = ref 0 in
+        while (not !improving) && !trials < opts.max_trials && !si < Array.length sources
+        do
+          let ns = sources.(!si) in
+          incr si;
+          if
+            Circuit.is_alive c ns && ns <> gd
+            && Bytes.get tfo ns = '\000'
+            && (not (List.mem ns already))
+            && (match Circuit.kind c ns with
+               | Gate.Const0 | Gate.Const1 -> false
+               | _ -> true)
+            && filter_passes c values gd ns
+          then begin
+            incr trials;
+            let snapshot = Circuit.copy c in
+            if try_addition opts c gd ns then begin
+              let before = Circuit.two_input_gate_count snapshot in
+              let saved_removals = !removals in
+              remove ();
+              if Circuit.two_input_gate_count c < before then begin
+                incr additions;
+                improving := true
+              end
+              else begin
+                (* unproductive addition: roll everything back *)
+                Circuit.overwrite c ~with_:snapshot;
+                removals := saved_removals
+              end
+            end
+          end
+        done
+      end
+    done
+  done;
+  {
+    additions = !additions;
+    removals = !removals;
+    gates_before;
+    gates_after = Circuit.two_input_gate_count c;
+  }

@@ -1,0 +1,38 @@
+(** Redundancy addition and removal — the RAMBO_C [1] stand-in baseline.
+
+    The optimizer alternates two moves:
+    - {e removal}: tie off stuck-at-untestable lines ({!Redundancy});
+    - {e addition}: splice a functionally redundant extra input onto an
+      And/Nand (or Or/Nor) gate. A candidate wire (source node, destination
+      gate) is filtered by bit-parallel simulation — the destination output
+      must never be at its non-controlled value while the new input is
+      controlling — and then proved redundant exactly: with the wire added,
+      the new pin's stuck-at-non-controlling fault must be untestable.
+      Additions are kept only when the removal they unlock shrinks the
+      circuit; otherwise they are reverted.
+
+    Like the original, this targets area only, so the path count typically
+    grows — the behaviour Table 3 of the paper contrasts against. *)
+
+type options = {
+  max_additions : int;  (** accepted-addition budget *)
+  max_trials : int;  (** candidate wires proved per addition round *)
+  sim_patterns : int;  (** bit-parallel filter depth *)
+  backtrack_limit : int;  (** PODEM budget for wire-addition proofs *)
+  removal_backtracks : int;  (** PODEM budget inside redundancy removal *)
+  seed : int64;
+}
+
+val default_options : options
+
+type stats = {
+  additions : int;
+  removals : int;
+  gates_before : int;
+  gates_after : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val optimize : ?options:options -> Circuit.t -> stats
+(** Mutates the circuit; the result is equivalent to the input. *)

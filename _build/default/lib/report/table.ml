@@ -1,0 +1,60 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i ch ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init n_cols width in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i w -> pad w (Option.value ~default:"" (List.nth_opt row i)))
+        widths
+    in
+    let line = String.concat "  " cells in
+    (* trim trailing spaces *)
+    let len = ref (String.length line) in
+    while !len > 0 && line.[!len - 1] = ' ' do
+      decr len
+    done;
+    String.sub line 0 !len
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ "\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

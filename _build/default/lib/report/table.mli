@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the bench harness and CLI. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val int : int -> string
+(** Thousands-separated rendering, e.g. [1_192_971] -> "1,192,971". *)
+
+val render : t -> string
+val print : t -> unit

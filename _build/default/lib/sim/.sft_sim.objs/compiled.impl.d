@@ -1,0 +1,1 @@
+lib/sim/compiled.ml: Array Circuit Gate Int64

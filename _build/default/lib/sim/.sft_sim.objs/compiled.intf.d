@@ -1,0 +1,1 @@
+lib/sim/compiled.mli: Circuit Gate

@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Array Circuit Gate Rng Truthtable

@@ -1,0 +1,33 @@
+(** Flattened, topologically-ordered circuit view for fast simulation.
+
+    Node ids are re-used from the source circuit (the source must not be
+    mutated while the compiled view is alive). All arrays are indexed by
+    node id unless stated otherwise. *)
+
+type t
+
+val of_circuit : Circuit.t -> t
+val circuit : t -> Circuit.t
+val size : t -> int
+val order : t -> int array
+(** Topological order over live nodes. *)
+
+val topo_index : t -> int array
+(** Inverse of {!order}; dead nodes get [-1]. *)
+
+val kind : t -> int -> Gate.kind
+val fanins : t -> int -> int array
+val fanouts : t -> int -> int array
+val inputs : t -> int array
+val outputs : t -> int array
+val is_po : t -> int -> bool
+
+val eval_node : t -> int64 array -> int -> int64
+(** Evaluate one gate from the value array (gate kinds only). *)
+
+val simulate : t -> int64 array -> int64 array
+(** [simulate t pi_words] runs 64 parallel patterns; [pi_words] is indexed
+    like {!inputs}. Returns the per-node value array (fresh). *)
+
+val simulate_into : t -> int64 array -> int64 array -> unit
+(** As {!simulate} but fills a caller-provided per-node array. *)

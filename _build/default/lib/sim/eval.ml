@@ -1,0 +1,77 @@
+let node_values c inputs =
+  let pis = Circuit.inputs c in
+  if Array.length inputs <> Array.length pis then
+    invalid_arg "Eval.run: input vector length mismatch";
+  let v = Array.make (Circuit.size c) false in
+  Array.iteri (fun i pi -> v.(pi) <- inputs.(i)) pis;
+  let order = Circuit.topo_order c in
+  Array.iter
+    (fun id ->
+      match Circuit.kind c id with
+      | Gate.Input -> ()
+      | k ->
+        let fins = Circuit.fanins c id in
+        v.(id) <- Gate.eval k (Array.map (fun f -> v.(f)) fins))
+    order;
+  v
+
+let run c inputs =
+  let v = node_values c inputs in
+  Array.map (fun o -> v.(o)) (Circuit.outputs c)
+
+let output_table c k =
+  let n = Circuit.num_inputs c in
+  if n > 16 then invalid_arg "Eval.output_table: more than 16 inputs";
+  let outs = Circuit.outputs c in
+  if k < 0 || k >= Array.length outs then invalid_arg "Eval.output_table: bad output";
+  Truthtable.create n (fun m ->
+      let inputs = Array.init n (fun j -> m land (1 lsl (n - 1 - j)) <> 0) in
+      (run c inputs).(k))
+
+let equivalent_exhaustive a b =
+  let n = Circuit.num_inputs a in
+  if n <> Circuit.num_inputs b || Circuit.num_outputs a <> Circuit.num_outputs b
+  then false
+  else if n > 20 then invalid_arg "Eval.equivalent_exhaustive: too many inputs"
+  else begin
+    let ok = ref true in
+    let m = ref 0 in
+    let total = 1 lsl n in
+    while !ok && !m < total do
+      let inputs = Array.init n (fun j -> !m land (1 lsl (n - 1 - j)) <> 0) in
+      if run a inputs <> run b inputs then ok := false;
+      incr m
+    done;
+    !ok
+  end
+
+let word_values c words =
+  let v = Array.make (Circuit.size c) 0L in
+  let pis = Circuit.inputs c in
+  Array.iteri (fun i pi -> v.(pi) <- words.(i)) pis;
+  Array.iter
+    (fun id ->
+      match Circuit.kind c id with
+      | Gate.Input -> ()
+      | k -> v.(id) <- Gate.eval_word k (Array.map (fun f -> v.(f)) (Circuit.fanins c id)))
+    (Circuit.topo_order c);
+  v
+
+let equivalent_random ?(patterns = 256) ~seed a b =
+  let n = Circuit.num_inputs a in
+  if n <> Circuit.num_inputs b || Circuit.num_outputs a <> Circuit.num_outputs b
+  then false
+  else begin
+    let rng = Rng.create seed in
+    let ok = ref true in
+    let batch = ref 0 in
+    let batches = (patterns + 63) / 64 in
+    while !ok && !batch < batches do
+      let words = Array.init n (fun _ -> Rng.next64 rng) in
+      let va = word_values a words and vb = word_values b words in
+      let oa = Circuit.outputs a and ob = Circuit.outputs b in
+      Array.iteri (fun i o -> if va.(o) <> vb.(ob.(i)) then ok := false) oa;
+      incr batch
+    done;
+    !ok
+  end

@@ -1,0 +1,21 @@
+(** Single-pattern logic simulation and functional extraction. *)
+
+val run : Circuit.t -> bool array -> bool array
+(** [run c inputs] evaluates the circuit on one input vector (indexed like
+    {!Circuit.inputs}) and returns the primary-output values (indexed like
+    {!Circuit.outputs}). *)
+
+val node_values : Circuit.t -> bool array -> bool array
+(** Value of every node (indexed by node id; dead nodes get [false]). *)
+
+val output_table : Circuit.t -> int -> Truthtable.t
+(** [output_table c k] tabulates primary output [k] as a function of the
+    primary inputs (at most 16 of them), input 0 being the MSB. *)
+
+val equivalent_exhaustive : Circuit.t -> Circuit.t -> bool
+(** Exhaustive equivalence of two circuits with identical input/output counts
+    (inputs matched positionally; at most 20 inputs). *)
+
+val equivalent_random : ?patterns:int -> seed:int64 -> Circuit.t -> Circuit.t -> bool
+(** Random-pattern equivalence filter (64 [patterns] words by default 256;
+    sound only for inequivalence). *)

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random sources.
+
+    All experiment randomness flows through these so every run is
+    reproducible from its seed. *)
+
+type t
+
+val create : int64 -> t
+(** Splitmix64 stream seeded explicitly. *)
+
+val copy : t -> t
+val next64 : t -> int64
+val int : t -> int -> int
+(** Uniform in [0, bound), bound > 0. *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)
+
+val split : t -> t
+(** Independent child stream (advances the parent). *)

@@ -1,0 +1,1 @@
+lib/synth/dontcare.ml: Array Int64 Justify List Truthtable

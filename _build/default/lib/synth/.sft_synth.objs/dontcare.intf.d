@@ -1,0 +1,1 @@
+lib/synth/dontcare.mli: Circuit Compiled Truthtable

@@ -1,0 +1,1 @@
+lib/synth/engine.ml: Array Circuit Comparison_fn Comparison_unit Compiled Dontcare Eval Format Gate Int64 List Multi_unit Paths Replace Rng Subcircuit Truthtable

@@ -1,0 +1,1 @@
+lib/synth/engine.mli: Circuit Comparison_fn Format

@@ -1,0 +1,1 @@
+lib/synth/procedure2.mli: Circuit Engine

@@ -1,0 +1,1 @@
+lib/synth/procedure3.ml: Engine

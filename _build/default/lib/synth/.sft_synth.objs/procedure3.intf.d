@@ -1,0 +1,1 @@
+lib/synth/procedure3.mli: Circuit Engine

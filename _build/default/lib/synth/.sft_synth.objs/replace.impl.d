@@ -1,0 +1,1 @@
+lib/synth/replace.ml: Array Circuit Comparison_unit Eval Gate Subcircuit Truthtable

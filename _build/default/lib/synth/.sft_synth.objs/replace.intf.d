@@ -1,0 +1,1 @@
+lib/synth/replace.mli: Circuit Comparison_unit Subcircuit

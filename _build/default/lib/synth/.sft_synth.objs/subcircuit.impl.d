@@ -1,0 +1,1 @@
+lib/synth/subcircuit.ml: Array Circuit Format Gate Hashtbl Int List Queue Set String Truthtable

@@ -1,0 +1,1 @@
+lib/synth/subcircuit.mli: Circuit Format Truthtable

@@ -1,0 +1,30 @@
+let observed cmp batches inputs =
+  let k = Array.length inputs in
+  if k > 16 then invalid_arg "Dontcare.observed: cut too wide";
+  let seen = Array.make (1 lsl k) false in
+  Array.iter
+    (fun values ->
+      for bit = 0 to 63 do
+        let m = ref 0 in
+        for j = 0 to k - 1 do
+          if Int64.logand (Int64.shift_right_logical values.(inputs.(j)) bit) 1L = 1L
+          then m := !m lor (1 lsl (k - 1 - j))
+        done;
+        seen.(!m) <- true
+      done)
+    batches;
+  ignore cmp;
+  Truthtable.create k (fun m -> seen.(m))
+
+let prove_unreachable ?(backtrack_limit = 200) c inputs minterms =
+  let k = Array.length inputs in
+  List.for_all
+    (fun m ->
+      let targets =
+        Array.to_list
+          (Array.mapi (fun j input -> (input, m land (1 lsl (k - 1 - j)) <> 0)) inputs)
+      in
+      match Justify.search ~backtrack_limit c targets with
+      | Justify.Unsat -> true
+      | Justify.Sat _ | Justify.Unknown -> false)
+    minterms

@@ -1,0 +1,19 @@
+(** Controllability don't-cares on a subcircuit's input cut.
+
+    An input combination the surrounding logic can never produce is a
+    don't-care for the replacement: the spliced unit may disagree with the
+    original function there. Candidates come from cheap bit-parallel
+    simulation (combinations never observed); each disagreement actually
+    exploited is then {e proved} unreachable with {!Justify}, so replacements
+    stay sound. This implements the paper's first "remaining issue" (Sec. 6). *)
+
+val observed :
+  Compiled.t -> int64 array array -> int array -> Truthtable.t
+(** [observed cmp batches inputs]: truth table marking every input-cut
+    minterm seen in the simulated batches (per-node 64-bit value arrays). *)
+
+val prove_unreachable :
+  ?backtrack_limit:int -> Circuit.t -> int array -> int list -> bool
+(** [prove_unreachable c inputs minterms]: true iff {e every} listed cut
+    minterm is proved unreachable by exhaustive justification search.
+    [Unknown] (budget) counts as reachable, keeping callers sound. *)

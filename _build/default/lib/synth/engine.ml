@@ -1,0 +1,226 @@
+type objective =
+  | Gates
+  | Paths
+
+type options = {
+  k : int;
+  max_candidates : int;
+  engine : Comparison_fn.engine;
+  merge : bool;
+  verify_local : bool;
+  verify_global : bool;
+  max_passes : int;
+  seed : int64;
+  use_dontcares : bool;
+  dc_backtracks : int;
+  max_units : int;
+}
+
+let default_options =
+  {
+    k = 6;
+    max_candidates = 64;
+    engine = Comparison_fn.Exact;
+    merge = true;
+    verify_local = true;
+    verify_global = false;
+    max_passes = 16;
+    seed = 1L;
+    use_dontcares = false;
+    dc_backtracks = 200;
+    max_units = 1;
+  }
+
+type stats = {
+  passes : int;
+  replacements : int;
+  gates_before : int;
+  gates_after : int;
+  paths_before : int;
+  paths_after : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d passes, %d replacements; gates %d -> %d; paths %d -> %d" s.passes
+    s.replacements s.gates_before s.gates_after s.paths_before s.paths_after
+
+(* Paths on the root if the subcircuit is replaced by the unit:
+   sum over inputs of N_p(input) * K_p(input). *)
+let replaced_path_label labels (s : Subcircuit.t) (b : Comparison_unit.built) =
+  let acc = ref 0 in
+  Array.iteri
+    (fun j input -> acc := !acc + (labels.(input) * b.Comparison_unit.input_paths.(j)))
+    s.Subcircuit.inputs;
+  !acc
+
+type candidate = {
+  sub : Subcircuit.t;
+  built : Comparison_unit.built;
+  gain : int;  (** removable 2-input gates minus unit 2-input gates *)
+  new_paths : int;  (** path label on the root after replacement *)
+  exact : bool;  (** false for don't-care replacements (care-set verified) *)
+}
+
+(* Build the replacement unit for a subcircuit, trying in order: a single
+   comparison unit, a multi-unit cover (Sec. 6, issue 2), and a single unit
+   under controllability don't-cares (Sec. 6, issue 1; each exploited
+   disagreement is proved unreachable first). *)
+let realise opts rng ~sim_batches ~cmp0 c sub tt =
+  let n = Array.length sub.Subcircuit.inputs in
+  let with_dontcares () =
+    if not opts.use_dontcares then None
+    else
+      match sim_batches with
+      | None -> None
+      | Some batches -> (
+        let seen = Dontcare.observed cmp0 batches sub.Subcircuit.inputs in
+        let dc = Truthtable.lnot seen in
+        if Truthtable.is_const dc = Some false then None
+        else begin
+          let care_on = Truthtable.land_ tt seen in
+          match Comparison_fn.identify_dc rng ~care_on ~dc with
+          | None -> None
+          | Some spec ->
+            let built = Comparison_unit.build ~merge:opts.merge ~n spec in
+            let g = Eval.output_table built.Comparison_unit.circuit 0 in
+            let diff = Truthtable.minterms (Truthtable.lxor_ g tt) in
+            if diff = [] then Some (built, true)
+            else if
+              Dontcare.prove_unreachable ~backtrack_limit:opts.dc_backtracks c
+                sub.Subcircuit.inputs diff
+            then Some (built, false)
+            else None
+        end)
+  in
+  let with_multi () =
+    if opts.max_units <= 1 then None
+    else
+      match Multi_unit.find ~max_units:opts.max_units rng tt with
+      | Some cover -> Some (Multi_unit.build ~merge:opts.merge ~n cover, true)
+      | None -> None
+  in
+  match Comparison_fn.identify opts.engine rng tt with
+  | Some spec -> Some (Comparison_unit.build ~merge:opts.merge ~n spec, true)
+  | None -> (
+    (* a don't-care single unit is usually cheaper than a multi-unit cover *)
+    match with_dontcares () with
+    | Some r -> Some r
+    | None -> with_multi ())
+
+let score_candidates opts rng ~sim_batches ~cmp0 labels c root =
+  let subs = Subcircuit.enumerate ~k:opts.k ~max_candidates:opts.max_candidates c root in
+  List.filter_map
+    (fun sub ->
+      let tt = Subcircuit.extract c sub in
+      match realise opts rng ~sim_batches ~cmp0 c sub tt with
+      | None -> None
+      | Some (built, exact) ->
+        let gain = Subcircuit.removable_cost c sub - built.Comparison_unit.gates2 in
+        let new_paths = replaced_path_label labels sub built in
+        Some { sub; built; gain; new_paths; exact })
+    subs
+
+(* Strictly-better-than ordering for the two objectives. [current_paths] is
+   the Procedure-1 label on the root before replacement. *)
+let better objective ~current_paths a b =
+  match b with
+  | None -> (
+    (* is [a] an improvement over leaving the gate alone? *)
+    match objective with
+    | Gates -> a.gain > 0 || (a.gain = 0 && a.new_paths < current_paths)
+    | Paths -> a.new_paths < current_paths)
+  | Some b -> (
+    match objective with
+    | Gates -> a.gain > b.gain || (a.gain = b.gain && a.new_paths < b.new_paths)
+    | Paths -> a.new_paths < b.new_paths)
+
+let is_gate c id =
+  Circuit.is_alive c id
+  &&
+  match Circuit.kind c id with
+  | Gate.Input | Gate.Const0 | Gate.Const1 -> false
+  | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+  | Gate.Xnor -> true
+
+let run_pass objective opts rng c =
+  let labels = Paths.labels c in
+  let marked = Array.make (Circuit.size c) false in
+  Array.iter (fun o -> if is_gate c o then marked.(o) <- true) (Circuit.outputs c);
+  let order = Circuit.topo_order c in
+  (* Simulation snapshot for don't-care analysis. Replacements only rewrite
+     logic downstream of the gates still to be processed, so upstream node
+     values stay valid for the whole pass. *)
+  let cmp0 = Compiled.of_circuit c in
+  let sim_batches =
+    if opts.use_dontcares then begin
+      let sim_rng = Rng.create (Int64.logxor opts.seed 0x5FCAL) in
+      let n_pi = Array.length (Compiled.inputs cmp0) in
+      Some
+        (Array.init 32 (fun _ ->
+             Compiled.simulate cmp0 (Array.init n_pi (fun _ -> Rng.next64 sim_rng))))
+    end
+    else None
+  in
+  let replacements = ref 0 in
+  (* Outputs towards inputs: descending topological positions. The paper's
+     line numbering is BFS from the inputs; descending topological order
+     visits every line after all lines it feeds, which is what Step 2 needs. *)
+  for i = Array.length order - 1 downto 0 do
+    let g = order.(i) in
+    if is_gate c g && marked.(g) then begin
+      let chosen =
+        List.fold_left
+          (fun best cand ->
+            if better objective ~current_paths:labels.(g) cand best then Some cand
+            else best)
+          None
+          (score_candidates opts rng ~sim_batches ~cmp0 labels c g)
+      in
+      match chosen with
+      | Some cand ->
+        (* Don't-care replacements intentionally differ from the subcircuit
+           function on proved-unreachable combinations, so the exhaustive
+           local check only applies to exact ones. *)
+        let verify_local = opts.verify_local && cand.exact in
+        let fresh = Replace.splice ~verify_local c cand.sub cand.built in
+        ignore fresh;
+        incr replacements;
+        Array.iter
+          (fun input -> if is_gate c input then marked.(input) <- true)
+          cand.sub.Subcircuit.inputs
+      | None ->
+        Array.iter
+          (fun input -> if is_gate c input then marked.(input) <- true)
+          (Circuit.fanins c g)
+    end
+  done;
+  !replacements
+
+let optimize objective opts c =
+  let rng = Rng.create opts.seed in
+  let reference = if opts.verify_global then Some (Circuit.copy c) else None in
+  let gates_before = Circuit.two_input_gate_count c in
+  let paths_before = Paths.total c in
+  let passes = ref 0 in
+  let replacements = ref 0 in
+  let continue = ref true in
+  while !continue && !passes < opts.max_passes do
+    incr passes;
+    let r = run_pass objective opts rng c in
+    replacements := !replacements + r;
+    (match reference with
+    | Some reference ->
+      if not (Eval.equivalent_random ~patterns:2048 ~seed:opts.seed reference c)
+      then failwith "Engine.optimize: pass broke circuit equivalence"
+    | None -> ());
+    if r = 0 then continue := false
+  done;
+  {
+    passes = !passes;
+    replacements = !replacements;
+    gates_before;
+    gates_after = Circuit.two_input_gate_count c;
+    paths_before;
+    paths_after = Paths.total c;
+  }

@@ -1,0 +1,52 @@
+(** Shared resynthesis engine behind Procedures 2 and 3 (Sec. 4).
+
+    A pass walks the marked gate outputs from the primary outputs towards the
+    inputs (descending topological order, as in the paper). For each gate it
+    enumerates candidate subcircuits, keeps those implementing comparison
+    functions, scores each viable replacement, and splices in the best one.
+    Inputs of a selected subcircuit are marked for further processing; a gate
+    with no improving candidate keeps its structure and marks its fanins.
+    Passes repeat until a fixpoint. *)
+
+type objective =
+  | Gates  (** Procedure 2: maximise gate reduction, tie-break on paths. *)
+  | Paths  (** Procedure 3: minimise the path count on the gate output. *)
+
+type options = {
+  k : int;  (** subcircuit input limit K (paper: 5 or 6) *)
+  max_candidates : int;  (** candidate cap per root *)
+  engine : Comparison_fn.engine;
+  merge : bool;  (** merge chain gates inside units (Fig. 4) *)
+  verify_local : bool;  (** exhaustive check of each replacement *)
+  verify_global : bool;  (** random-pattern whole-circuit check per pass *)
+  max_passes : int;
+  seed : int64;
+  use_dontcares : bool;
+      (** paper Sec. 6, issue 1: when plain identification fails, retry with
+          controllability don't-cares; every exploited disagreement is proved
+          unreachable by justification search before the replacement is
+          considered. *)
+  dc_backtracks : int;  (** justification budget per proof *)
+  max_units : int;
+      (** paper Sec. 6, issue 2: cover a subfunction with up to this many
+          comparison units sharing a permutation (1 = single units only). *)
+}
+
+val default_options : options
+(** K = 6, 64 candidates, exact identification, merging, local verification
+    on, global verification off, at most 16 passes, seed 1, extensions off. *)
+
+type stats = {
+  passes : int;
+  replacements : int;
+  gates_before : int;
+  gates_after : int;
+  paths_before : int;
+  paths_after : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val optimize : objective -> options -> Circuit.t -> stats
+(** Mutates the circuit. Raises [Failure] if [verify_global] is set and a
+    pass breaks equivalence (which would indicate a bug). *)

@@ -1,0 +1,1 @@
+let run ?(options = Engine.default_options) c = Engine.optimize Engine.Gates options c

@@ -1,0 +1,4 @@
+(** Procedure 3: reduce the number of paths by comparison-unit replacement;
+    the gate count is not a secondary objective and may grow (Sec. 4.2). *)
+
+val run : ?options:Engine.options -> Circuit.t -> Engine.stats

@@ -1,0 +1,131 @@
+type t = {
+  root : int;
+  gates : int list;
+  inputs : int array;
+}
+
+let pp ppf s =
+  Format.fprintf ppf "root %d, gates {%s}, inputs [%s]" s.root
+    (String.concat " " (List.map string_of_int s.gates))
+    (String.concat " " (Array.to_list (Array.map string_of_int s.inputs)))
+
+let is_gate c id =
+  match Circuit.kind c id with
+  | Gate.Input | Gate.Const0 | Gate.Const1 -> false
+  | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+  | Gate.Xnor -> true
+
+let is_const c id =
+  match Circuit.kind c id with
+  | Gate.Const0 | Gate.Const1 -> true
+  | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand
+  | Gate.Nor | Gate.Xor | Gate.Xnor -> false
+
+module ISet = Set.Make (Int)
+
+(* Input cut of a gate set: fanins of members outside the set, constants
+   excluded, sorted. *)
+let cut_of c set =
+  ISet.fold
+    (fun g acc ->
+      Array.fold_left
+        (fun acc f ->
+          if ISet.mem f set || is_const c f then acc else ISet.add f acc)
+        acc (Circuit.fanins c g))
+    set ISet.empty
+
+let enumerate ~k ~max_candidates c root =
+  if not (is_gate c root) then invalid_arg "Subcircuit.enumerate: root not a gate";
+  let seen = Hashtbl.create 64 in
+  let results = ref [] in
+  let count = ref 0 in
+  let pushes = ref 0 in
+  let push_budget = max 256 (max_candidates * 20) in
+  let queue = Queue.create () in
+  let key set = String.concat "," (List.map string_of_int (ISet.elements set)) in
+  let push set =
+    let id = key set in
+    if !pushes < push_budget && not (Hashtbl.mem seen id) then begin
+      incr pushes;
+      Hashtbl.add seen id ();
+      Queue.add set queue
+    end
+  in
+  push (ISet.singleton root);
+  while (not (Queue.is_empty queue)) && !count < max_candidates do
+    let set = Queue.pop queue in
+    let cut = cut_of c set in
+    if ISet.cardinal cut <= k then begin
+      incr count;
+      results :=
+        {
+          root;
+          gates = ISet.elements set;
+          inputs = Array.of_list (ISet.elements cut);
+        }
+        :: !results;
+      (* expand by absorbing each gate on the cut *)
+      ISet.iter (fun h -> if is_gate c h then push (ISet.add h set)) cut
+    end
+    else
+      (* over budget: absorbing more gates can still shrink the cut when the
+         absorbed gate's fanins are already inputs; keep expanding within a
+         small slack to find such reconvergences *)
+      if ISet.cardinal cut <= k + 2 then
+        ISet.iter (fun h -> if is_gate c h then push (ISet.add h set)) cut
+  done;
+  List.rev !results
+
+let member_order c s =
+  let set = List.fold_left (fun acc g -> ISet.add g acc) ISet.empty s.gates in
+  Array.of_list
+    (List.filter (fun id -> ISet.mem id set) (Array.to_list (Circuit.topo_order c)))
+
+let extract c s =
+  let n = Array.length s.inputs in
+  if n > 16 then invalid_arg "Subcircuit.extract: too many inputs";
+  let order = member_order c s in
+  let values = Array.make (Circuit.size c) false in
+  Truthtable.create n (fun m ->
+      Array.iteri
+        (fun j input -> values.(input) <- m land (1 lsl (n - 1 - j)) <> 0)
+        s.inputs;
+      Array.iter
+        (fun g ->
+          let fins = Circuit.fanins c g in
+          let vals =
+            Array.map
+              (fun f ->
+                match Circuit.kind c f with
+                | Gate.Const0 -> false
+                | Gate.Const1 -> true
+                | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Or
+                | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor -> values.(f))
+              fins
+          in
+          values.(g) <- Gate.eval (Circuit.kind c g) vals)
+        order;
+      values.(s.root))
+
+let removable_gates c s =
+  let set = List.fold_left (fun acc g -> ISet.add g acc) ISet.empty s.gates in
+  let externally_visible g =
+    g <> s.root
+    && (Circuit.is_output c g
+       || List.exists (fun r -> not (ISet.mem r set)) (Circuit.fanouts c g))
+  in
+  let kept = ref ISet.empty in
+  let rec keep g =
+    if (not (ISet.mem g !kept)) && ISet.mem g set && g <> s.root then begin
+      kept := ISet.add g !kept;
+      Array.iter keep (Circuit.fanins c g)
+    end
+  in
+  List.iter (fun g -> if externally_visible g then keep g) s.gates;
+  List.filter (fun g -> not (ISet.mem g !kept)) s.gates
+
+let removable_cost c s =
+  List.fold_left
+    (fun acc g ->
+      acc + Gate.two_input_equivalents (Circuit.kind c g) (Circuit.fanin_count c g))
+    0 (removable_gates c s)

@@ -1,0 +1,33 @@
+(** Candidate subcircuit enumeration for resynthesis (Sec. 4.1).
+
+    Candidates with output [root] are grown by repeatedly absorbing a gate
+    that feeds the current input cut, as long as the cut stays within [k]
+    inputs. Constant fanins never count as inputs (they are folded into the
+    extracted function). Candidates are deduplicated by gate set and capped. *)
+
+type t = {
+  root : int;  (** the gate whose output the subcircuit drives *)
+  gates : int list;  (** member gates, sorted ascending, [root] included *)
+  inputs : int array;
+      (** boundary nodes feeding the subcircuit from outside, sorted
+          ascending; position [j] is truth-table variable [x_(j+1)] (MSB
+          first) *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val enumerate : k:int -> max_candidates:int -> Circuit.t -> int -> t list
+(** All candidates rooted at a gate, smallest first (the single-gate
+    subcircuit is always first when it fits in [k] inputs). *)
+
+val extract : Circuit.t -> t -> Truthtable.t
+(** The function computed on [root] in terms of [inputs] (exhaustive local
+    simulation; at most [2^k] evaluations of the member gates). *)
+
+val removable_gates : Circuit.t -> t -> int list
+(** Member gates that die if the subcircuit is replaced: everything except
+    the backward closure of members that are primary outputs or still drive
+    logic outside the subcircuit. The root is always removable. *)
+
+val removable_cost : Circuit.t -> t -> int
+(** Equivalent-2-input-gate count of {!removable_gates} — the paper's [N]. *)

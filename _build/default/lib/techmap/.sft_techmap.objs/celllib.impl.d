@@ -1,0 +1,1 @@
+lib/techmap/celllib.ml:

@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Array Bytes Celllib Circuit Gate Hashtbl List

@@ -1,0 +1,56 @@
+type pattern =
+  | P_input
+  | P_inv of pattern
+  | P_nand of pattern * pattern
+
+type cell = {
+  name : string;
+  pattern : pattern;
+  literals : int;
+}
+
+let rec pattern_inputs = function
+  | P_input -> 1
+  | P_inv p -> pattern_inputs p
+  | P_nand (a, b) -> pattern_inputs a + pattern_inputs b
+
+let i = P_input
+let inv p = P_inv p
+let nand a b = P_nand (a, b)
+
+(* NAND3 = NAND(a, INV(NAND(b, c))) and its mirror; NAND4 both skews and the
+   balanced shape. AOI21 = INV(NAND(NAND(a,b), INV(c))); OAI21 =
+   NAND(INV(NAND(INV a, INV b))... = NAND(OR(a,b), c) expressed over the
+   subject graph as NAND(INV(NAND(INV a, INV b)), c)? OR(a,b) =
+   NAND(INV a, INV b), so OAI21 = INV(AND(OR(a,b), c)) = NAND(OR(a,b), c) =
+   NAND(NAND(INV a, INV b), c). AOI22 = INV(OR(AND(a,b), AND(c,d))) =
+   INV(NAND(NAND(a,b), NAND(c,d)))... NAND(x,y) with x=NAND(a,b) gives
+   INV(AND(INV(ab), INV(cd))) = ab + cd, so AOI22 = INV of that =
+   INV(INV(NAND(NAND... — worked out below. *)
+let cells =
+  [
+    { name = "INV"; pattern = inv i; literals = 1 };
+    { name = "NAND2"; pattern = nand i i; literals = 2 };
+    { name = "NAND3"; pattern = nand i (inv (nand i i)); literals = 3 };
+    { name = "NAND3'"; pattern = nand (inv (nand i i)) i; literals = 3 };
+    {
+      name = "NAND4";
+      pattern = nand (inv (nand i i)) (inv (nand i i));
+      literals = 4;
+    };
+    { name = "NAND4l"; pattern = nand i (inv (nand i (inv (nand i i)))); literals = 4 };
+    { name = "NAND4r"; pattern = nand (inv (nand (inv (nand i i)) i)) i; literals = 4 };
+    { name = "AND2"; pattern = inv (nand i i); literals = 2 };
+    (* OR2 = NAND(INV a, INV b) *)
+    { name = "OR2"; pattern = nand (inv i) (inv i); literals = 2 };
+    (* NOR2 = INV(OR2) *)
+    { name = "NOR2"; pattern = inv (nand (inv i) (inv i)); literals = 2 };
+    (* AOI21 = INV(ab + c): ab + c = NAND(NAND(a,b), INV c) *)
+    { name = "AOI21"; pattern = inv (nand (nand i i) (inv i)); literals = 3 };
+    { name = "AOI21'"; pattern = inv (nand (inv i) (nand i i)); literals = 3 };
+    (* OAI21 = INV((a+b)c) = NAND(OR(a,b), c) = NAND(NAND(INV a, INV b), c) *)
+    { name = "OAI21"; pattern = nand (nand (inv i) (inv i)) i; literals = 3 };
+    { name = "OAI21'"; pattern = nand i (nand (inv i) (inv i)); literals = 3 };
+    (* AOI22 = INV(ab + cd): ab + cd = NAND(NAND(a,b), NAND(c,d)) *)
+    { name = "AOI22"; pattern = inv (nand (nand i i) (nand i i)); literals = 4 };
+  ]

@@ -1,0 +1,19 @@
+(** A small standard-cell library over the NAND2/INV subject graph
+    (the SIS stand-in's library). Cell cost is measured in literals
+    (= number of cell inputs), the metric Table 4 reports. *)
+
+type pattern =
+  | P_input  (** a leaf: matches any subject node *)
+  | P_inv of pattern
+  | P_nand of pattern * pattern
+
+type cell = {
+  name : string;
+  pattern : pattern;
+  literals : int;
+}
+
+val cells : cell list
+(** INV, NAND2/3/4 (all skews), AND2, OR2, AOI21, OAI21, AOI22. *)
+
+val pattern_inputs : pattern -> int

@@ -1,0 +1,193 @@
+type result = {
+  literals : int;
+  longest : int;
+  cells_used : int;
+  subject : Circuit.t;
+}
+
+(* --- Subject graph -------------------------------------------------------- *)
+
+let subject_graph c =
+  let s = Circuit.create ~name:(Circuit.name c ^ "_subject") () in
+  let inv x =
+    match Circuit.kind s x with
+    | Gate.Not -> (Circuit.fanins s x).(0)
+    | Gate.Const0 -> Circuit.add_const s true
+    | Gate.Const1 -> Circuit.add_const s false
+    | _ -> Circuit.add_gate s Gate.Not [| x |]
+  in
+  let nand2 a b = Circuit.add_gate s Gate.Nand [| a; b |] in
+  let and2 a b = inv (nand2 a b) in
+  let or2 a b = nand2 (inv a) (inv b) in
+  let xor2 a b =
+    let t = nand2 a b in
+    nand2 (nand2 a t) (nand2 t b)
+  in
+  let rec reduce f = function
+    | [] -> invalid_arg "subject_graph: empty gate"
+    | [ x ] -> x
+    | xs ->
+      let rec split k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | x :: rest -> split (k - 1) (x :: acc) rest
+        | [] -> (List.rev acc, [])
+      in
+      let l, r = split (List.length xs / 2) [] xs in
+      f (reduce f l) (reduce f r)
+  in
+  let remap = Array.make (Circuit.size c) (-1) in
+  (* Distinct source fanins can map to one subject node (e.g. through
+     inverter-pair elision), so And/Or-family fanins are deduplicated and
+     Xor-family pairs cancelled before building the reduction tree. *)
+  let dedup fins = List.sort_uniq compare fins in
+  let cancel_pairs fins =
+    let occ = Hashtbl.create 4 in
+    List.iter
+      (fun f ->
+        let n = try Hashtbl.find occ f with Not_found -> 0 in
+        Hashtbl.replace occ f (n + 1))
+      fins;
+    List.filter
+      (fun f ->
+        match Hashtbl.find_opt occ f with
+        | Some n when n land 1 = 1 ->
+          Hashtbl.replace occ f 0;
+          true
+        | Some _ | None -> false)
+      fins
+  in
+  Array.iter
+    (fun id ->
+      let mapped_fanins () =
+        Array.to_list (Array.map (fun f -> remap.(f)) (Circuit.fanins c id))
+      in
+      let and_or_fanins () = dedup (mapped_fanins ()) in
+      let xor_fanins () = cancel_pairs (mapped_fanins ()) in
+      remap.(id) <-
+        (match Circuit.kind c id with
+        | Gate.Input -> Circuit.add_input ?name:(Circuit.node_name c id) s
+        | Gate.Const0 -> Circuit.add_const s false
+        | Gate.Const1 -> Circuit.add_const s true
+        | Gate.Buf -> List.hd (mapped_fanins ())
+        | Gate.Not -> inv (List.hd (mapped_fanins ()))
+        | Gate.And -> reduce and2 (and_or_fanins ())
+        | Gate.Nand -> inv (reduce and2 (and_or_fanins ()))
+        | Gate.Or -> reduce or2 (and_or_fanins ())
+        | Gate.Nor -> inv (reduce or2 (and_or_fanins ()))
+        | Gate.Xor -> (
+          match xor_fanins () with
+          | [] -> Circuit.add_const s false
+          | fins -> reduce xor2 fins)
+        | Gate.Xnor -> (
+          match xor_fanins () with
+          | [] -> Circuit.add_const s true
+          | fins -> inv (reduce xor2 fins))))
+    (Circuit.topo_order c);
+  Array.iter (fun o -> Circuit.mark_output s remap.(o)) (Circuit.outputs c);
+  ignore (Circuit.sweep s);
+  s
+
+(* --- Tree covering --------------------------------------------------------- *)
+
+type chosen = {
+  cell : Celllib.cell;
+  leaves : int list;
+}
+
+let is_source c id =
+  match Circuit.kind c id with
+  | Gate.Input | Gate.Const0 | Gate.Const1 -> true
+  | _ -> false
+
+let map c =
+  let s = subject_graph c in
+  let boundary id =
+    is_source s id || Circuit.is_output s id || Circuit.fanout_degree s id <> 1
+  in
+  (* Match a pattern at a node. Descent below the root is only allowed
+     through fanout-free non-boundary nodes. Returns leaves left-to-right. *)
+  let rec matches ~root id (p : Celllib.pattern) =
+    match p with
+    | Celllib.P_input -> Some [ id ]
+    | Celllib.P_inv q ->
+      if (not root) && boundary id then None
+      else if Circuit.kind s id = Gate.Not then
+        matches ~root:false (Circuit.fanins s id).(0) q
+      else None
+    | Celllib.P_nand (ql, qr) ->
+      if (not root) && boundary id then None
+      else if Circuit.kind s id = Gate.Nand && Circuit.fanin_count s id = 2 then begin
+        let fins = Circuit.fanins s id in
+        match matches ~root:false fins.(0) ql with
+        | None -> None
+        | Some ll -> (
+          match matches ~root:false fins.(1) qr with
+          | None -> None
+          | Some lr -> Some (ll @ lr))
+      end
+      else None
+  in
+  let size = Circuit.size s in
+  let cost = Array.make size max_int in
+  let choice : chosen option array = Array.make size None in
+  let order = Circuit.topo_order s in
+  Array.iter
+    (fun id ->
+      if is_source s id then cost.(id) <- 0
+      else begin
+        List.iter
+          (fun (cell : Celllib.cell) ->
+            match matches ~root:true id cell.Celllib.pattern with
+            | None -> ()
+            | Some leaves ->
+              let leaf_cost l =
+                if boundary l || is_source s l then 0 else cost.(l)
+              in
+              let total =
+                List.fold_left
+                  (fun acc l ->
+                    let lc = leaf_cost l in
+                    if lc = max_int || acc = max_int then max_int else acc + lc)
+                  cell.Celllib.literals leaves
+              in
+              if total < cost.(id) then begin
+                cost.(id) <- total;
+                choice.(id) <- Some { cell; leaves }
+              end)
+          Celllib.cells;
+        if cost.(id) = max_int then
+          failwith "Mapper.map: node not coverable by the cell library"
+      end)
+    order;
+  (* Walk the chosen cover from the boundary roots, counting each cell once
+     and computing arrival times in cells. *)
+  let arrival = Array.make size (-1) in
+  let counted = Bytes.make size '\000' in
+  let literals = ref 0 in
+  let cells_used = ref 0 in
+  let rec walk id =
+    if arrival.(id) >= 0 then arrival.(id)
+    else if is_source s id then begin
+      arrival.(id) <- 0;
+      0
+    end
+    else begin
+      match choice.(id) with
+      | None -> failwith "Mapper.map: uncovered node"
+      | Some { cell; leaves } ->
+        if Bytes.get counted id = '\000' then begin
+          Bytes.set counted id '\001';
+          literals := !literals + cell.Celllib.literals;
+          incr cells_used
+        end;
+        let worst = List.fold_left (fun acc l -> max acc (walk l)) 0 leaves in
+        arrival.(id) <- worst + 1;
+        arrival.(id)
+    end
+  in
+  (* Logic feeding no output was swept with the subject graph, so walking
+     from the outputs counts the full cover. *)
+  let longest =
+    Array.fold_left (fun acc o -> max acc (walk o)) 0 (Circuit.outputs s)
+  in
+  { literals = !literals; longest; cells_used = !cells_used; subject = s }

@@ -1,0 +1,20 @@
+(** SIS-substitute technology mapping.
+
+    Pipeline: decompose the netlist into a NAND2/INV subject graph (multi-
+    input gates become balanced trees, Xor/Xnor the classic four-NAND
+    network), partition at fanout points into trees, and cover each tree by
+    dynamic programming over {!Celllib.cells} minimising literals. Reports
+    the two columns of Table 4: total literals and the number of cells on
+    the longest input-to-output path. *)
+
+type result = {
+  literals : int;
+  longest : int;  (** cells on the longest path *)
+  cells_used : int;
+  subject : Circuit.t;  (** the NAND2/INV subject graph (for inspection) *)
+}
+
+val subject_graph : Circuit.t -> Circuit.t
+(** Decomposition only (exposed for testing; function-preserving). *)
+
+val map : Circuit.t -> result

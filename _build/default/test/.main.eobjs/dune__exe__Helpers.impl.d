@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Bench_format Circuit Gate Hashtbl Int64 List Printf QCheck_alcotest Rng

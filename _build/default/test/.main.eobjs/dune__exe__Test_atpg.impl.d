@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Bench_format Circuit Compiled Equiv Eval Fault Fsim Gate Helpers Int64 List Podem Printf Redundancy

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Bench_format Benchmarks Check Circuit Circuit_gen Helpers List Paths

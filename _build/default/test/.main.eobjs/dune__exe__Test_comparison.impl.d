@@ -1,0 +1,1 @@
+test/test_comparison.ml: Alcotest Array Comparison_fn Comparison_unit Compiled Eval Format Helpers List Rng Robust Truthtable Unit_testgen Wave

@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Array Circuit Compiled Eval Gate Hashtbl Helpers Int64 List Paths Pdf_campaign Printf Rng Robust Wave

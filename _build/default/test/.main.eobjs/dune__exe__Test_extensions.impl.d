@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Check Circuit Comparison_fn Engine Eval Gate Helpers Int64 Justify List Multi_unit Procedure2 Procedure3 QCheck Rng Truthtable

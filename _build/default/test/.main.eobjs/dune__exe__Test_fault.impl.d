@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Campaign Circuit Compiled Eval Fault Fsim Gate Helpers Int64 List Rng

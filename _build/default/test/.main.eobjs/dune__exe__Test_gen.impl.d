@@ -1,0 +1,1 @@
+test/test_gen.ml: Bench_format Benchmarks Check Circuit Circuit_gen Helpers Levelize List Paths

@@ -1,0 +1,1 @@
+test/test_integration.ml: Campaign Circuit Circuit_gen Engine Eval Helpers Int64 Mapper Paths Pdf_campaign Procedure2 Procedure3 Rar Redundancy

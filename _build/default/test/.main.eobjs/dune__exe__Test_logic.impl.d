@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Fun Helpers List QCheck Rng Truthtable

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bench_format Check Circuit Cleanup Eval Gate Helpers Int64 Levelize List Paths Printf

@@ -1,0 +1,1 @@
+test/test_pdf_atpg.ml: Alcotest Array Circuit Comparison_unit Compiled Format Gate Hashtbl Helpers Int64 List Paths Pdf_atpg Rng Robust Wave

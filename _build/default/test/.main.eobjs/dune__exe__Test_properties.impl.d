@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Circuit Comparison_fn Comparison_unit Compiled Engine Eval Fault Fsim Gate Helpers Int64 List Paths Procedure2 Procedure3 QCheck Rng Truthtable Wave

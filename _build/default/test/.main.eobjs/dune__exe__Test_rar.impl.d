@@ -1,0 +1,1 @@
+test/test_rar.ml: Alcotest Check Circuit Eval Gate Helpers Int64 Rar

@@ -1,0 +1,1 @@
+test/test_sim.ml: Array Bench_format Circuit Compiled Eval Gate Helpers Int64 Printf Rng Truthtable

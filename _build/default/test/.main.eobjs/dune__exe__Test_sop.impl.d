@@ -1,0 +1,1 @@
+test/test_sop.ml: Alcotest Check Eval Helpers List Rng Sop Truthtable

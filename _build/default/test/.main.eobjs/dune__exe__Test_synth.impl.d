@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Check Circuit Comparison_fn Comparison_unit Engine Eval Gate Helpers Int64 List Option Procedure2 Procedure3 Replace Rng Subcircuit Truthtable

@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Array Check Circuit Eval Gate Helpers Mapper

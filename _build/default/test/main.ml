@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "sft"
+    [
+      ("netlist", Test_netlist.suite);
+      ("logic", Test_logic.suite);
+      Helpers.qsuite "logic-properties" Test_logic.qchecks;
+      ("sim", Test_sim.suite);
+      ("fault", Test_fault.suite);
+      ("atpg", Test_atpg.suite);
+      ("delay", Test_delay.suite);
+      ("comparison", Test_comparison.suite);
+      ("synth", Test_synth.suite);
+      ("rar", Test_rar.suite);
+      ("techmap", Test_techmap.suite);
+      ("gen", Test_gen.suite);
+      ("report", Test_report.suite);
+      Helpers.qsuite "properties" Test_properties.suite;
+      ("extensions", Test_extensions.suite);
+      ("pdf-atpg", Test_pdf_atpg.suite);
+      ("sop", Test_sop.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("integration", Test_integration.suite);
+      ("more", Test_more.suite);
+      Helpers.qsuite "extension-properties" Test_extensions.qchecks;
+    ]

@@ -1,0 +1,37 @@
+open Helpers
+
+(* These tests only run against the on-disk prepared circuits; they never
+   trigger the expensive preparation step. *)
+
+let cached_entries () = List.filter Benchmarks.cached Benchmarks.all
+
+let test_cached_circuits_valid () =
+  match cached_entries () with
+  | [] -> () (* nothing prepared on this machine: vacuous *)
+  | entries ->
+    List.iter
+      (fun e ->
+        let c = Benchmarks.build e in
+        Check.validate c;
+        check int_ (e.Benchmarks.name ^ " inputs")
+          e.Benchmarks.profile.Circuit_gen.n_pi (Circuit.num_inputs c);
+        check int_ (e.Benchmarks.name ^ " outputs")
+          e.Benchmarks.profile.Circuit_gen.n_po (Circuit.num_outputs c);
+        check bool_ "has gates" true (Circuit.num_gates c > 100);
+        check bool_ "paths computable" true (Paths.total c > 0))
+      entries
+
+let test_cached_deterministic_copy () =
+  match cached_entries () with
+  | [] -> ()
+  | e :: _ ->
+    let a = Benchmarks.build e in
+    let b = Benchmarks.build e in
+    check bool_ "two builds identical" true
+      (Bench_format.to_string a = Bench_format.to_string b)
+
+let suite =
+  [
+    ("cached stand-ins are valid", `Quick, test_cached_circuits_valid);
+    ("builds are identical copies", `Quick, test_cached_deterministic_copy);
+  ]

@@ -1,0 +1,228 @@
+open Helpers
+
+(* The paper's running example f2: minterms {1,5,6,9,10,14} over (y1..y4),
+   which under the bit-reversal permutation becomes the interval [5,10]. *)
+let f2 = Truthtable.of_minterms 4 [ 1; 5; 6; 9; 10; 14 ]
+
+let test_identify_f2 () =
+  match Comparison_fn.identify_exact f2 with
+  | None -> Alcotest.fail "f2 is a comparison function"
+  | Some s ->
+    check bool_ "spec checks" true (Comparison_fn.check f2 s);
+    check bool_ "not complemented" false s.Comparison_fn.complemented;
+    check int_ "width of interval" 6 (s.Comparison_fn.hi - s.Comparison_fn.lo + 1)
+
+let test_identify_f2_sampled () =
+  let rng = Rng.create 3L in
+  match Comparison_fn.identify_sampled rng f2 with
+  | None -> Alcotest.fail "sampled engine must find f2 (4! < 200)"
+  | Some s -> check bool_ "spec checks" true (Comparison_fn.check f2 s)
+
+let test_identify_intervals_after_scrambling () =
+  (* Any interval function scrambled by a random permutation must be
+     identified by the exact engine. *)
+  let rng = Rng.create 5L in
+  for n = 2 to 6 do
+    for _ = 1 to 20 do
+      let total = 1 lsl n in
+      let lo = Rng.int rng total in
+      let hi = lo + Rng.int rng (total - lo) in
+      let base = Truthtable.interval n ~lo ~hi in
+      let p = Array.init n (fun i -> i + 1) in
+      Rng.shuffle rng p;
+      let scrambled = Truthtable.permute base p in
+      match Comparison_fn.identify_exact scrambled with
+      | None ->
+        Alcotest.failf "n=%d [%d,%d] not identified after scrambling" n lo hi
+      | Some s ->
+        check bool_ "spec checks" true (Comparison_fn.check scrambled s)
+    done
+  done
+
+let test_identify_complement () =
+  (* OFF-set contiguous: accepted with complemented = true. *)
+  let f = Truthtable.lnot (Truthtable.interval 4 ~lo:3 ~hi:11) in
+  match Comparison_fn.identify_exact f with
+  | None -> Alcotest.fail "complement must be identified"
+  | Some s ->
+    check bool_ "spec checks" true (Comparison_fn.check f s)
+
+let test_identify_rejects_non_comparison () =
+  (* 2-out-of-3 majority is not a comparison function: its ON-set {3,5,6,7}
+     has popcount 4 but every permutation keeps minterm weights, and no
+     4-interval of Z_8 consists of three weight-2 minterms plus 7. *)
+  let majority = Truthtable.of_minterms 3 [ 3; 5; 6; 7 ] in
+  check bool_ "majority rejected" true (Comparison_fn.identify_exact majority = None);
+  (* XOR of 3 variables is also not a comparison function, nor its complement. *)
+  let xor3 = Truthtable.of_minterms 3 [ 1; 2; 4; 7 ] in
+  check bool_ "xor3 rejected" true (Comparison_fn.identify_exact xor3 = None)
+
+let test_exact_vs_exhaustive_sampled () =
+  (* For n <= 4 the sampled engine is exhaustive, hence complete: both
+     engines must agree on comparison-or-not for every function tried. *)
+  let rng = Rng.create 9L in
+  let sample_rng = Rng.create 10L in
+  for _ = 1 to 300 do
+    let n = 3 + Rng.int rng 2 in
+    let f =
+      Truthtable.create n (fun _ -> Rng.bool rng)
+    in
+    let exact = Comparison_fn.identify_exact f in
+    let sampled = Comparison_fn.identify_sampled ~budget:1000 sample_rng f in
+    (match (exact, sampled) with
+    | Some _, Some _ | None, None -> ()
+    | Some s, None ->
+      Alcotest.failf "exact found %s, exhaustive-sampled missed (tt %s)"
+        (Format.asprintf "%a" Comparison_fn.pp_spec s)
+        (Truthtable.to_string f)
+    | None, Some s ->
+      Alcotest.failf "sampled found %s but exact missed (tt %s)"
+        (Format.asprintf "%a" Comparison_fn.pp_spec s)
+        (Truthtable.to_string f));
+    match exact with
+    | Some s -> check bool_ "exact spec checks" true (Comparison_fn.check f s)
+    | None -> ()
+  done
+
+(* --- Comparison units ----------------------------------------------------- *)
+
+let test_unit_figure1 () =
+  (* Figure 1: L=5, U=10 over 4 inputs. *)
+  let b = Comparison_unit.build_interval ~lo:5 ~hi:10 4 in
+  let spec =
+    { Comparison_fn.perm = [| 1; 2; 3; 4 |]; lo = 5; hi = 10; complemented = false }
+  in
+  check bool_ "unit computes [5,10]" true (Comparison_unit.verify ~n:4 spec b);
+  Array.iter
+    (fun p -> check bool_ "at most two paths" true (p <= 2))
+    b.Comparison_unit.input_paths
+
+let test_unit_figure3_special_cases () =
+  (* >= 3 = (0011): x1 OR x2 OR (x3 AND x4); >= 12 = (1100): x1 AND x2. *)
+  let geq3 = Comparison_unit.build_interval ~lo:3 ~hi:15 4 in
+  check int_ ">=3 gates" 3 geq3.Comparison_unit.gates2;
+  let geq12 = Comparison_unit.build_interval ~lo:12 ~hi:15 4 in
+  check int_ ">=12 gates" 1 geq12.Comparison_unit.gates2;
+  (* <= 12 = (1100): x1' OR x2' OR (x3' AND x4'); <= 3: x1' AND x2'. *)
+  let leq12 = Comparison_unit.build_interval ~lo:0 ~hi:12 4 in
+  check int_ "<=12 gates" 3 leq12.Comparison_unit.gates2;
+  let leq3 = Comparison_unit.build_interval ~lo:0 ~hi:3 4 in
+  check int_ "<=3 gates" 1 leq3.Comparison_unit.gates2;
+  (* spot-check functions *)
+  let t = Eval.output_table geq12.Comparison_unit.circuit 0 in
+  check bool_ ">=12 correct" true
+    (Truthtable.equal t (Truthtable.interval 4 ~lo:12 ~hi:15))
+
+let test_unit_free_variables () =
+  (* L=5=(0101), U=7=(0111): free variables x1 x2; unit is x1' AND x2 AND
+     (core over x3 x4 with [01..11] -> >= 1 chain only). *)
+  check int_ "free count" 2 (Comparison_unit.free_variable_count ~n:4 ~lo:5 ~hi:7);
+  let b = Comparison_unit.build_interval ~lo:5 ~hi:7 4 in
+  let t = Eval.output_table b.Comparison_unit.circuit 0 in
+  check bool_ "function" true (Truthtable.equal t (Truthtable.interval 4 ~lo:5 ~hi:7));
+  (* free variables have exactly one path *)
+  check int_ "x1 one path" 1 b.Comparison_unit.input_paths.(0);
+  check int_ "x2 one path" 1 b.Comparison_unit.input_paths.(1)
+
+let test_unit_single_implicant () =
+  (* f(y1,y2,y3) = y1 y3: permutation (y1,y3,y2), L=6, U=7 -> single AND. *)
+  let spec =
+    { Comparison_fn.perm = [| 1; 3; 2 |]; lo = 6; hi = 7; complemented = false }
+  in
+  let b = Comparison_unit.build ~n:3 spec in
+  check int_ "single AND gate" 1 b.Comparison_unit.gates2;
+  let t = Eval.output_table b.Comparison_unit.circuit 0 in
+  let expected = Truthtable.land_ (Truthtable.var 3 1) (Truthtable.var 3 3) in
+  check bool_ "function is y1 y3" true (Truthtable.equal t expected)
+
+let test_unit_all_specs_exhaustive_small () =
+  (* Every interval over 1..5 variables, with and without merging, must
+     verify; input path counts never exceed 2. *)
+  for n = 1 to 5 do
+    let total = 1 lsl n in
+    for lo = 0 to total - 1 do
+      for hi = lo to total - 1 do
+        List.iter
+          (fun merge ->
+            let b = Comparison_unit.build_interval ~merge ~lo ~hi n in
+            let spec =
+              {
+                Comparison_fn.perm = Array.init n (fun i -> i + 1);
+                lo;
+                hi;
+                complemented = false;
+              }
+            in
+            if not (Comparison_unit.verify ~n spec b) then
+              Alcotest.failf "unit n=%d [%d,%d] merge=%b wrong" n lo hi merge;
+            Array.iter
+              (fun p ->
+                if p > 2 then
+                  Alcotest.failf "unit n=%d [%d,%d]: input with %d paths" n lo hi p)
+              b.Comparison_unit.input_paths)
+          [ true; false ]
+      done
+    done
+  done
+
+let test_unit_complemented () =
+  let spec =
+    { Comparison_fn.perm = [| 2; 1; 3 |]; lo = 2; hi = 5; complemented = true }
+  in
+  let b = Comparison_unit.build ~n:3 spec in
+  check bool_ "complemented unit verifies" true (Comparison_unit.verify ~n:3 spec b)
+
+let test_unit_merging_reduces_depth () =
+  (* >= 7 over 4 bits (Figure 4): the two rightmost ANDs merge. *)
+  let merged = Comparison_unit.build_interval ~merge:true ~lo:7 ~hi:15 4 in
+  let plain = Comparison_unit.build_interval ~merge:false ~lo:7 ~hi:15 4 in
+  check bool_ "same gate count" true
+    (merged.Comparison_unit.gates2 = plain.Comparison_unit.gates2);
+  check bool_ "depth reduced" true
+    (merged.Comparison_unit.depth < plain.Comparison_unit.depth)
+
+(* --- Robust testability of units (Sec. 3.3) -------------------------------- *)
+
+let test_unit_fully_robustly_testable () =
+  (* The paper's Figure 6 unit: L=11, U=12 -> free x1, core [3,4]. *)
+  let b = Comparison_unit.build_interval ~lo:11 ~hi:12 4 in
+  let r = Unit_testgen.generate b in
+  check int_ "no untestable path faults" 0 (List.length r.Unit_testgen.untested);
+  (* verify every generated pair against the robust simulator *)
+  let cmp = Compiled.of_circuit b.Comparison_unit.circuit in
+  List.iter
+    (fun t ->
+      let waves = Wave.simulate cmp ~v1:t.Unit_testgen.v1 ~v2:t.Unit_testgen.v2 in
+      match Robust.detects cmp waves t.Unit_testgen.path with
+      | Some dir -> check bool_ "direction" true (dir = t.Unit_testgen.direction)
+      | None -> Alcotest.fail "generated test not robust")
+    r.Unit_testgen.tests
+
+let test_units_fully_testable_sweep () =
+  (* All 4-variable units are fully robustly testable. *)
+  for lo = 0 to 15 do
+    for hi = lo to 15 do
+      let b = Comparison_unit.build_interval ~lo ~hi 4 in
+      if not (Unit_testgen.fully_testable b) then
+        Alcotest.failf "unit [%d,%d] not fully robustly testable" lo hi
+    done
+  done
+
+let suite =
+  [
+    ("identify: paper example f2", `Quick, test_identify_f2);
+    ("identify: f2 with sampled engine", `Quick, test_identify_f2_sampled);
+    ("identify: scrambled intervals", `Quick, test_identify_intervals_after_scrambling);
+    ("identify: complemented comparison", `Quick, test_identify_complement);
+    ("identify: rejects non-comparison functions", `Quick, test_identify_rejects_non_comparison);
+    ("identify: exact agrees with exhaustive search", `Quick, test_exact_vs_exhaustive_sampled);
+    ("unit: Figure 1", `Quick, test_unit_figure1);
+    ("unit: Figure 3 special cases", `Quick, test_unit_figure3_special_cases);
+    ("unit: free variables", `Quick, test_unit_free_variables);
+    ("unit: single prime implicant", `Quick, test_unit_single_implicant);
+    ("unit: exhaustive sweep n<=5", `Quick, test_unit_all_specs_exhaustive_small);
+    ("unit: complemented", `Quick, test_unit_complemented);
+    ("unit: merging reduces depth (Fig. 4)", `Quick, test_unit_merging_reduces_depth);
+    ("unit: Figure 6 robust test set", `Quick, test_unit_fully_robustly_testable);
+    ("unit: all 4-var units fully robustly testable", `Quick, test_units_fully_testable_sweep);
+  ]

@@ -1,0 +1,176 @@
+open Helpers
+
+let wave init final hf = { Wave.init; final; hf }
+
+let test_wave_and_rules () =
+  let s0 = Wave.stable false and s1 = Wave.stable true in
+  let r = Wave.rising and f = Wave.falling in
+  (* controlling stable masks hazards *)
+  let hazardous = wave true true false in
+  let out = Wave.eval Gate.And [| s0; hazardous |] in
+  check bool_ "masked hf" true out.Wave.hf;
+  check bool_ "masked value" false out.Wave.final;
+  (* rising and falling mix glitches *)
+  let out = Wave.eval Gate.And [| r; f |] in
+  check bool_ "r&f not hf" false out.Wave.hf;
+  check bool_ "r&f static 0" true ((not out.Wave.init) && not out.Wave.final);
+  (* rising with stable 1 stays clean *)
+  let out = Wave.eval Gate.And [| r; s1 |] in
+  check bool_ "clean rising" true (out.Wave.hf && Wave.has_transition out);
+  (* two rising inputs stay clean *)
+  let out = Wave.eval Gate.And [| r; r |] in
+  check bool_ "two rising clean" true (out.Wave.hf && out.Wave.final)
+
+let test_wave_or_xor_rules () =
+  let s1 = Wave.stable true in
+  let r = Wave.rising and f = Wave.falling in
+  let hazardous = wave false false false in
+  let out = Wave.eval Gate.Or [| s1; hazardous |] in
+  check bool_ "or masks with stable 1" true out.Wave.hf;
+  let out = Wave.eval Gate.Xor [| r; f |] in
+  check bool_ "xor two transitions hazardous" false out.Wave.hf;
+  let out = Wave.eval Gate.Xor [| r; Wave.stable false |] in
+  check bool_ "xor single transition clean" true (out.Wave.hf && Wave.has_transition out);
+  let out = Wave.eval Gate.Nor [| Wave.stable false; f |] in
+  check bool_ "nor inverts falling to rising" true (out.Wave.final && not out.Wave.init)
+
+let test_wave_simulation_endpoints () =
+  (* init/final planes of the wave sim must match two independent logic
+     simulations. *)
+  for seed = 1 to 8 do
+    let c = random_circuit ~n_pi:5 ~n_gates:20 seed in
+    let cmp = Compiled.of_circuit c in
+    let rng = Rng.create (Int64.of_int seed) in
+    let v1 = Array.init 5 (fun _ -> Rng.bool rng) in
+    let v2 = Array.init 5 (fun _ -> Rng.bool rng) in
+    let waves = Wave.simulate cmp ~v1 ~v2 in
+    let val1 = Eval.node_values c v1 and val2 = Eval.node_values c v2 in
+    Circuit.iter_live c (fun id ->
+        check bool_ "init" val1.(id) waves.(id).Wave.init;
+        check bool_ "final" val2.(id) waves.(id).Wave.final)
+  done
+
+let test_robust_detection_inverter_chain () =
+  (* a -> NOT -> NOT -> out: both path faults robustly testable. *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input c in
+  let n1 = Circuit.add_gate c Gate.Not [| a |] in
+  let n2 = Circuit.add_gate c Gate.Not [| n1 |] in
+  Circuit.mark_output c n2;
+  let path = [| a; n1; n2 |] in
+  (match Robust.detects_vectors c ~v1:[| false |] ~v2:[| true |] path with
+  | Some Robust.Rising -> ()
+  | Some Robust.Falling | None -> Alcotest.fail "rising test");
+  match Robust.detects_vectors c ~v1:[| true |] ~v2:[| false |] path with
+  | Some Robust.Falling -> ()
+  | Some Robust.Rising | None -> Alcotest.fail "falling test"
+
+let test_robust_side_input_conditions () =
+  (* AND(a, b): rising on a (controlling -> non-controlling) needs b stable 1. *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input c in
+  let b = Circuit.add_input c in
+  let g = Circuit.add_gate c Gate.And [| a; b |] in
+  Circuit.mark_output c g;
+  let path = [| a; g |] in
+  (* b stable 1: robust *)
+  (match Robust.detects_vectors c ~v1:[| false; true |] ~v2:[| true; true |] path with
+  | Some Robust.Rising -> ()
+  | Some Robust.Falling | None -> Alcotest.fail "should be robust");
+  (* b rising alongside: not robust for the rising a transition *)
+  match Robust.detects_vectors c ~v1:[| false; false |] ~v2:[| true; true |] path with
+  | None -> ()
+  | Some _ -> Alcotest.fail "side input transitioning must not be robust"
+
+let test_robust_hazard_asymmetry () =
+  (* Side input statically 1 but hazardous (OR of a rising and a falling
+     signal). A transition to the controlling value tolerates the hazard; a
+     transition to the non-controlling value does not. *)
+  let c = Circuit.create () in
+  let p = Circuit.add_input c in
+  let q = Circuit.add_input c in
+  let r = Circuit.add_input c in
+  let side = Circuit.add_gate c Gate.Or [| q; r |] in
+  let g = Circuit.add_gate c Gate.And [| p; side |] in
+  Circuit.mark_output c g;
+  let path = [| p; g |] in
+  (* q: 0->1, r: 1->0 keeps side at static 1 with a possible glitch *)
+  (match
+     Robust.detects_vectors c ~v1:[| true; false; true |] ~v2:[| false; true; false |] path
+   with
+  | Some Robust.Falling -> ()
+  | Some Robust.Rising | None ->
+    Alcotest.fail "falling to controlling tolerates a hazardous stable side");
+  match
+    Robust.detects_vectors c ~v1:[| false; false; true |] ~v2:[| true; true; false |] path
+  with
+  | None -> ()
+  | Some _ ->
+    Alcotest.fail "rising to non-controlling requires a hazard-free side"
+
+let test_count_matches_marking () =
+  (* count_robust (DP) must equal the number of faults the marking DFS finds
+     on a fresh campaign state; cross-check via per-path Robust.detects. *)
+  for seed = 1 to 8 do
+    let c = random_circuit ~n_pi:5 ~n_gates:15 seed in
+    let cmp = Compiled.of_circuit c in
+    let rng = Rng.create (Int64.of_int (seed * 31)) in
+    let v1 = Array.init 5 (fun _ -> Rng.bool rng) in
+    let v2 = Array.init 5 (fun _ -> Rng.bool rng) in
+    let waves = Wave.simulate cmp ~v1 ~v2 in
+    let dp = Pdf_campaign.count_robust cmp waves in
+    let brute =
+      List.length
+        (List.filter
+           (fun p -> Robust.detects cmp waves p <> None)
+           (Paths.enumerate c))
+    in
+    check int_ (Printf.sprintf "seed %d count" seed) brute dp
+  done
+
+let test_pdf_campaign_runs () =
+  let c = c17 () in
+  let r = Pdf_campaign.run ~max_pairs:20_000 ~stop_window:2_000 ~seed:17L c in
+  check int_ "paths" 11 r.Pdf_campaign.total_paths;
+  check int_ "faults" 22 r.Pdf_campaign.total_faults;
+  check bool_ "detects most of c17" true (r.Pdf_campaign.detected > 10);
+  check bool_ "detected bounded" true (r.Pdf_campaign.detected <= 22);
+  (* determinism *)
+  let r2 = Pdf_campaign.run ~max_pairs:20_000 ~stop_window:2_000 ~seed:17L c in
+  check int_ "deterministic" r.Pdf_campaign.detected r2.Pdf_campaign.detected
+
+let test_pdf_campaign_against_enumeration () =
+  (* On a small circuit, campaign detection must equal the union over applied
+     tests of per-path robust detection. We replicate the campaign's RNG. *)
+  let c = mixed () in
+  let cmp = Compiled.of_circuit c in
+  let paths = Paths.enumerate c in
+  let detected = Hashtbl.create 32 in
+  let rng = Rng.create 23L in
+  let pairs = 2_000 in
+  for _ = 1 to pairs do
+    let v1 = Array.init 3 (fun _ -> Rng.bool rng) in
+    let v2 = Array.init 3 (fun _ -> Rng.bool rng) in
+    let waves = Wave.simulate cmp ~v1 ~v2 in
+    List.iter
+      (fun p ->
+        match Robust.detects cmp waves p with
+        | Some dir -> Hashtbl.replace detected (p, dir) ()
+        | None -> ())
+      paths
+  done;
+  let r = Pdf_campaign.run ~max_pairs:pairs ~stop_window:pairs ~seed:23L c in
+  check int_ "union matches campaign" (Hashtbl.length detected) r.Pdf_campaign.detected
+
+let suite =
+  [
+    ("wave algebra: AND", `Quick, test_wave_and_rules);
+    ("wave algebra: OR/XOR/NOR", `Quick, test_wave_or_xor_rules);
+    ("wave sim endpoints = two logic sims", `Quick, test_wave_simulation_endpoints);
+    ("robust: inverter chain", `Quick, test_robust_detection_inverter_chain);
+    ("robust: side-input conditions", `Quick, test_robust_side_input_conditions);
+    ("robust: hazard asymmetry", `Quick, test_robust_hazard_asymmetry);
+    ("count_robust DP = path enumeration", `Quick, test_count_matches_marking);
+    ("pdf campaign on c17", `Quick, test_pdf_campaign_runs);
+    ("pdf campaign matches brute-force union", `Quick, test_pdf_campaign_against_enumeration);
+  ]

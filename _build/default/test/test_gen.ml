@@ -1,0 +1,57 @@
+open Helpers
+
+let small_profile seed =
+  {
+    Circuit_gen.name = "toy";
+    n_pi = 10;
+    n_po = 6;
+    n_gates = 60;
+    depth = 8;
+    combine_pct = 25;
+    xor_pct = 5;
+    seed;
+  }
+
+let test_generate_valid_and_deterministic () =
+  let a = Circuit_gen.generate (small_profile 11L) in
+  let b = Circuit_gen.generate (small_profile 11L) in
+  Check.validate a;
+  check int_ "same gates" (Circuit.num_gates a) (Circuit.num_gates b);
+  check int_ "same paths" (Paths.total a) (Paths.total b);
+  check bool_ "same text" true (Bench_format.to_string a = Bench_format.to_string b)
+
+let test_generate_respects_interface () =
+  let c = Circuit_gen.generate (small_profile 13L) in
+  check int_ "inputs" 10 (Circuit.num_inputs c);
+  check int_ "outputs" 6 (Circuit.num_outputs c)
+
+let test_generate_depth_control () =
+  let deep = Circuit_gen.generate { (small_profile 17L) with Circuit_gen.depth = 16; n_gates = 120 } in
+  let shallow = Circuit_gen.generate { (small_profile 17L) with Circuit_gen.depth = 4; n_gates = 120 } in
+  check bool_ "depth tracks profile" true (Levelize.depth deep > Levelize.depth shallow);
+  check bool_ "deep within bound" true (Levelize.depth deep <= 16)
+
+let test_generate_mostly_observable () =
+  let p = small_profile 19L in
+  let c = Circuit_gen.generate p in
+  (* after sweep, most of the requested gates must have survived *)
+  check bool_ "most gates observable" true
+    (Circuit.num_gates c * 10 >= p.Circuit_gen.n_gates * 7)
+
+let test_registry_consistency () =
+  check int_ "eight stand-ins" 8 (List.length Benchmarks.all);
+  check int_ "four small" 4 (List.length Benchmarks.small);
+  let e = Benchmarks.find "irs5378" in
+  check int_ "interface follows the paper" e.Benchmarks.paper_inputs
+    e.Benchmarks.profile.Circuit_gen.n_pi;
+  let c = Benchmarks.c17 () in
+  check int_ "c17 gates" 6 (Circuit.num_gates c)
+
+let suite =
+  [
+    ("generator: valid and deterministic", `Quick, test_generate_valid_and_deterministic);
+    ("generator: interface", `Quick, test_generate_respects_interface);
+    ("generator: depth control", `Quick, test_generate_depth_control);
+    ("generator: observability", `Quick, test_generate_mostly_observable);
+    ("registry", `Quick, test_registry_consistency);
+  ]

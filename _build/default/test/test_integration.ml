@@ -1,0 +1,106 @@
+open Helpers
+
+(* End-to-end flows at toy scale, mirroring the bench harness pipelines. *)
+
+let toy_profile seed =
+  {
+    Circuit_gen.name = "flow";
+    n_pi = 12;
+    n_po = 8;
+    n_gates = 70;
+    depth = 8;
+    combine_pct = 25;
+    xor_pct = 4;
+    seed;
+  }
+
+let prepared seed =
+  let raw = Circuit_gen.generate (toy_profile seed) in
+  let c, _ = Redundancy.make_irredundant ~seed:(Int64.add seed 5L) raw in
+  c
+
+let test_table2_flow () =
+  (* original -> Procedure 2 -> redundancy removal, function preserved and
+     both metrics monotone as the paper's Table 2 requires. *)
+  let c0 = prepared 101L in
+  let g0 = Circuit.two_input_gate_count c0 and p0 = Paths.total c0 in
+  let c = Circuit.copy c0 in
+  ignore (Procedure2.run ~options:{ Engine.default_options with Engine.k = 5 } c);
+  let g1 = Circuit.two_input_gate_count c and p1 = Paths.total c in
+  ignore (Redundancy.remove ~seed:9L c);
+  let g2 = Circuit.two_input_gate_count c and p2 = Paths.total c in
+  check bool_ "gates never grow" true (g1 <= g0 && g2 <= g1);
+  check bool_ "paths do not grow under Procedure 2" true (p1 <= p0);
+  check bool_ "red.rem does not grow paths" true (p2 <= p1);
+  check bool_ "equivalent via random patterns" true
+    (Eval.equivalent_random ~patterns:4096 ~seed:3L c0 c)
+
+let test_table5_flow () =
+  let c0 = prepared 202L in
+  let p0 = Paths.total c0 in
+  let c = Circuit.copy c0 in
+  ignore (Procedure3.run ~options:{ Engine.default_options with Engine.k = 5 } c);
+  check bool_ "paths reduced or equal" true (Paths.total c <= p0);
+  check bool_ "equivalent" true (Eval.equivalent_random ~patterns:4096 ~seed:4L c0 c)
+
+let test_table6_flow () =
+  (* same seeds, same budget: testability metrics comparable pre/post *)
+  let c0 = prepared 303L in
+  let c = Circuit.copy c0 in
+  ignore (Procedure2.run ~options:{ Engine.default_options with Engine.k = 5 } c);
+  ignore (Redundancy.remove ~seed:10L c);
+  let r0 = Campaign.run ~max_patterns:30_000 ~seed:55L c0 in
+  let r1 = Campaign.run ~max_patterns:30_000 ~seed:55L c in
+  (* the modified circuit has no catastrophic testability loss: undetected
+     fraction within a few percent of the original *)
+  let frac r =
+    float_of_int r.Campaign.remaining /. float_of_int (max 1 r.Campaign.total_faults)
+  in
+  check bool_ "testability preserved" true (frac r1 <= frac r0 +. 0.05)
+
+let test_table7_flow () =
+  let c0 = prepared 404L in
+  let c = Circuit.copy c0 in
+  ignore (Procedure3.run ~options:{ Engine.default_options with Engine.k = 5 } c);
+  let r0 = Pdf_campaign.run ~max_pairs:4_000 ~stop_window:4_000 ~seed:66L c0 in
+  let r1 = Pdf_campaign.run ~max_pairs:4_000 ~stop_window:4_000 ~seed:66L c in
+  check bool_ "fewer or equal path faults" true
+    (r1.Pdf_campaign.total_faults <= r0.Pdf_campaign.total_faults);
+  (* coverage may not drop: detected/total ratio *)
+  let cov r =
+    float_of_int r.Pdf_campaign.detected /. float_of_int (max 1 r.Pdf_campaign.total_faults)
+  in
+  check bool_ "robust coverage does not collapse" true (cov r1 >= cov r0 -. 0.02)
+
+let test_rar_then_proc2_flow () =
+  let c0 = prepared 505L in
+  let c = Circuit.copy c0 in
+  let rar_opts =
+    { Rar.default_options with Rar.max_additions = 3; max_trials = 40; seed = 2L }
+  in
+  ignore (Rar.optimize ~options:rar_opts c);
+  let g_rar = Circuit.two_input_gate_count c in
+  ignore (Procedure2.run ~options:{ Engine.default_options with Engine.k = 5 } c);
+  check bool_ "P2 after RAR never grows gates" true
+    (Circuit.two_input_gate_count c <= g_rar);
+  check bool_ "equivalent" true (Eval.equivalent_random ~patterns:4096 ~seed:6L c0 c)
+
+let test_techmap_tracks_gates () =
+  let c0 = prepared 606L in
+  let c = Circuit.copy c0 in
+  ignore (Procedure2.run ~options:{ Engine.default_options with Engine.k = 5 } c);
+  let m0 = Mapper.map c0 and m1 = Mapper.map c in
+  (* mapping must succeed on both and stay within a sane band *)
+  check bool_ "literals positive" true (m0.Mapper.literals > 0 && m1.Mapper.literals > 0);
+  check bool_ "mapped subject graphs equivalent" true
+    (Eval.equivalent_random ~patterns:2048 ~seed:8L m0.Mapper.subject m1.Mapper.subject)
+
+let suite =
+  [
+    ("table 2 flow", `Quick, test_table2_flow);
+    ("table 5 flow", `Quick, test_table5_flow);
+    ("table 6 flow", `Quick, test_table6_flow);
+    ("table 7 flow", `Quick, test_table7_flow);
+    ("table 3 flow (RAR then Procedure 2)", `Quick, test_rar_then_proc2_flow);
+    ("table 4 flow (mapping)", `Quick, test_techmap_tracks_gates);
+  ]

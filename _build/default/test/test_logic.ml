@@ -1,0 +1,136 @@
+open Helpers
+
+let tt = Alcotest.testable Truthtable.pp Truthtable.equal
+
+let test_create_get () =
+  let f = Truthtable.create 3 (fun m -> m >= 2 && m <= 5) in
+  check bool_ "m0" false (Truthtable.get f 0);
+  check bool_ "m2" true (Truthtable.get f 2);
+  check bool_ "m5" true (Truthtable.get f 5);
+  check bool_ "m6" false (Truthtable.get f 6);
+  check int_ "popcount" 4 (Truthtable.popcount f);
+  check bool_ "minterms" true (Truthtable.minterms f = [ 2; 3; 4; 5 ])
+
+let test_var_msb_convention () =
+  (* x1 is the MSB: var 3 1 is true exactly on minterms >= 4. *)
+  let x1 = Truthtable.var 3 1 in
+  check bool_ "x1 on 4" true (Truthtable.get x1 4);
+  check bool_ "x1 off 3" false (Truthtable.get x1 3);
+  let x3 = Truthtable.var 3 3 in
+  check bool_ "x3 on odd" true (Truthtable.get x3 5);
+  check bool_ "x3 off even" false (Truthtable.get x3 4)
+
+let test_ops () =
+  let a = Truthtable.var 2 1 and b = Truthtable.var 2 2 in
+  let f = Truthtable.land_ a b in
+  check bool_ "and minterm" true (Truthtable.minterms f = [ 3 ]);
+  let g = Truthtable.lor_ a b in
+  check bool_ "or" true (Truthtable.minterms g = [ 1; 2; 3 ]);
+  let h = Truthtable.lxor_ a b in
+  check bool_ "xor" true (Truthtable.minterms h = [ 1; 2 ]);
+  check tt "de morgan"
+    (Truthtable.lnot (Truthtable.land_ a b))
+    (Truthtable.lor_ (Truthtable.lnot a) (Truthtable.lnot b))
+
+let test_cofactor () =
+  let f = Truthtable.interval 3 ~lo:2 ~hi:5 in
+  (* x1=0 half: minterms 0..3 -> shifted: {2,3}; x1=1 half: {4,5} -> {0,1} *)
+  let f0 = Truthtable.cofactor f ~var:1 false in
+  let f1 = Truthtable.cofactor f ~var:1 true in
+  check bool_ "f0" true (Truthtable.minterms f0 = [ 2; 3 ]);
+  check bool_ "f1" true (Truthtable.minterms f1 = [ 0; 1 ]);
+  (* cofactor on the LSB x3 keeps x1 x2 *)
+  let g = Truthtable.cofactor f ~var:3 false in
+  (* minterms of f with x3=0: 2=010, 4=100 -> over (x1,x2): 01, 10 *)
+  check bool_ "lsb cofactor" true (Truthtable.minterms g = [ 1; 2 ])
+
+let test_support () =
+  let f = Truthtable.land_ (Truthtable.var 4 1) (Truthtable.var 4 3) in
+  check bool_ "support" true (Truthtable.support f = [ 1; 3 ]);
+  check bool_ "depends 1" true (Truthtable.depends_on f 1);
+  check bool_ "independent of 2" false (Truthtable.depends_on f 2)
+
+let test_permute_identity_and_swap () =
+  let f = Truthtable.interval 3 ~lo:1 ~hi:4 in
+  let id = [| 1; 2; 3 |] in
+  check tt "identity" f (Truthtable.permute f id);
+  (* swapping x1 x3: minterm (a,b,c) value of new fn at (c,b,a) *)
+  let sw = Truthtable.permute f [| 3; 2; 1 |] in
+  check bool_ "swap twice is identity" true
+    (Truthtable.equal f (Truthtable.permute sw [| 3; 2; 1 |]))
+
+let test_as_interval () =
+  check bool_ "interval" true
+    (Truthtable.as_interval (Truthtable.interval 4 ~lo:3 ~hi:9) = Some (3, 9));
+  check bool_ "full" true
+    (Truthtable.as_interval (Truthtable.const 3 true) = Some (0, 7));
+  check bool_ "empty" true (Truthtable.as_interval (Truthtable.const 3 false) = None);
+  check bool_ "non-interval" true
+    (Truthtable.as_interval (Truthtable.of_minterms 3 [ 1; 3 ]) = None)
+
+let test_eval () =
+  let f = Truthtable.interval 3 ~lo:5 ~hi:6 in
+  check bool_ "101" true (Truthtable.eval f [| true; false; true |]);
+  check bool_ "110" true (Truthtable.eval f [| true; true; false |]);
+  check bool_ "111" false (Truthtable.eval f [| true; true; true |])
+
+(* Property tests *)
+
+let gen_tt n =
+  QCheck.Gen.(
+    map
+      (fun bits -> Truthtable.of_minterms n (List.filteri (fun i _ -> List.nth bits i) (List.init (1 lsl n) Fun.id)))
+      (list_size (return (1 lsl n)) bool))
+
+let arb_tt n = QCheck.make ~print:Truthtable.to_string (gen_tt n)
+
+let prop_permute_inverse =
+  QCheck.Test.make ~name:"permute then inverse permute is identity" ~count:200
+    (QCheck.pair (arb_tt 4) (QCheck.make QCheck.Gen.(return ())))
+    (fun (f, ()) ->
+      let rng = Rng.create 42L in
+      let p = Array.init 4 (fun i -> i + 1) in
+      Rng.shuffle rng p;
+      let inv = Array.make 4 0 in
+      Array.iteri (fun j v -> inv.(v - 1) <- j + 1) p;
+      Truthtable.equal f (Truthtable.permute (Truthtable.permute f p) inv))
+
+let prop_cofactor_shannon =
+  QCheck.Test.make ~name:"Shannon expansion reconstructs the function" ~count:200
+    (arb_tt 4) (fun f ->
+      let ok = ref true in
+      for v = 1 to 4 do
+        let f0 = Truthtable.cofactor f ~var:v false in
+        let f1 = Truthtable.cofactor f ~var:v true in
+        for m = 0 to 15 do
+          let bit = m land (1 lsl (4 - v)) <> 0 in
+          let low_bits = 4 - v in
+          let m' = ((m lsr (low_bits + 1)) lsl low_bits) lor (m land ((1 lsl low_bits) - 1)) in
+          let expect = Truthtable.get f m in
+          let got = Truthtable.get (if bit then f1 else f0) m' in
+          if expect <> got then ok := false
+        done
+      done;
+      !ok)
+
+let prop_popcount_ops =
+  QCheck.Test.make ~name:"inclusion-exclusion for or" ~count:200
+    (QCheck.pair (arb_tt 4) (arb_tt 4)) (fun (a, b) ->
+      Truthtable.popcount (Truthtable.lor_ a b)
+      = Truthtable.popcount a + Truthtable.popcount b
+        - Truthtable.popcount (Truthtable.land_ a b))
+
+let suite =
+  [
+    ("create/get/minterms", `Quick, test_create_get);
+    ("MSB-first variable convention", `Quick, test_var_msb_convention);
+    ("boolean operations", `Quick, test_ops);
+    ("cofactors", `Quick, test_cofactor);
+    ("support", `Quick, test_support);
+    ("permute", `Quick, test_permute_identity_and_swap);
+    ("as_interval", `Quick, test_as_interval);
+    ("eval", `Quick, test_eval);
+  ]
+
+let qchecks =
+  [ prop_permute_inverse; prop_cofactor_shannon; prop_popcount_ops ]

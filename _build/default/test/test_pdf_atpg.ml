@@ -1,0 +1,136 @@
+open Helpers
+
+let test_inverter_chain () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input c in
+  let n1 = Circuit.add_gate c Gate.Not [| a |] in
+  let n2 = Circuit.add_gate c Gate.Not [| n1 |] in
+  Circuit.mark_output c n2;
+  let path = [| a; n1; n2 |] in
+  (match Pdf_atpg.generate ~seed:1L c ~path ~direction:Robust.Rising with
+  | Pdf_atpg.Test (v1, v2) ->
+    check bool_ "launch 0" false v1.(0);
+    check bool_ "capture 1" true v2.(0)
+  | Pdf_atpg.Untestable | Pdf_atpg.Aborted | Pdf_atpg.Unsupported ->
+    Alcotest.fail "inverter chain is robustly testable");
+  match Pdf_atpg.generate ~seed:1L c ~path ~direction:Robust.Falling with
+  | Pdf_atpg.Test _ -> ()
+  | _ -> Alcotest.fail "falling too"
+
+let test_untestable_path () =
+  (* f = AND(a, OR(a, b)): the path a -> OR -> AND is robustly untestable:
+     propagating a transition through the OR requires b = 0 stable, but then
+     the AND's other (on-path-side) input a transitions as well - the side
+     input of the AND is a itself, which must be stable non-controlling.
+     Conflict: a transitions and must be stable. *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input c in
+  let b = Circuit.add_input c in
+  let o = Circuit.add_gate c Gate.Or [| a; b |] in
+  let g = Circuit.add_gate c Gate.And [| a; o |] in
+  Circuit.mark_output c g;
+  let path = [| a; o; g |] in
+  (match Pdf_atpg.generate ~seed:2L c ~path ~direction:Robust.Rising with
+  | Pdf_atpg.Untestable -> ()
+  | other ->
+    Alcotest.failf "expected untestable, got %s"
+      (Format.asprintf "%a" Pdf_atpg.pp_outcome other));
+  (* the direct path a -> AND is testable: set o's side via b... o must be
+     stable 1 while a rises; o = a OR b with b=1 gives stable 1. *)
+  let direct = [| a; g |] in
+  match Pdf_atpg.generate ~seed:2L c ~path:direct ~direction:Robust.Rising with
+  | Pdf_atpg.Test _ -> ()
+  | other ->
+    Alcotest.failf "expected testable, got %s"
+      (Format.asprintf "%a" Pdf_atpg.pp_outcome other)
+
+let test_xor_unsupported () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input c in
+  let b = Circuit.add_input c in
+  let g = Circuit.add_gate c Gate.Xor [| a; b |] in
+  Circuit.mark_output c g;
+  match Pdf_atpg.generate ~seed:3L c ~path:[| a; g |] ~direction:Robust.Rising with
+  | Pdf_atpg.Unsupported -> ()
+  | _ -> Alcotest.fail "xor paths are unsupported"
+
+let test_atpg_agrees_with_exhaustive () =
+  (* On small XOR-free circuits, the ATPG verdict must agree with exhaustive
+     two-pattern search under the same robust criteria. *)
+  let mk_circuit seed =
+    let rng = Rng.create (Int64.of_int seed) in
+    let c = Circuit.create () in
+    let nodes = ref [] in
+    for _ = 1 to 4 do
+      nodes := Circuit.add_input c :: !nodes
+    done;
+    for _ = 1 to 10 do
+      let pool = Array.of_list !nodes in
+      let kinds = [| Gate.And; Gate.Or; Gate.Nand; Gate.Nor; Gate.Not |] in
+      let kind = kinds.(Rng.int rng 5) in
+      let arity = match kind with Gate.Not -> 1 | _ -> 2 in
+      let seen = Hashtbl.create 4 in
+      let fins = ref [] in
+      while List.length !fins < arity do
+        let f = pool.(Rng.int rng (Array.length pool)) in
+        if not (Hashtbl.mem seen f) then begin
+          Hashtbl.add seen f ();
+          fins := f :: !fins
+        end
+      done;
+      nodes := Circuit.add_gate c kind (Array.of_list !fins) :: !nodes
+    done;
+    (match !nodes with o :: _ -> Circuit.mark_output c o | [] -> assert false);
+    ignore (Circuit.sweep c);
+    c
+  in
+  for seed = 1 to 8 do
+    let c = mk_circuit seed in
+    let cmp = Compiled.of_circuit c in
+    let n = Circuit.num_inputs c in
+    let exhaustive_testable path direction =
+      let found = ref false in
+      for m1 = 0 to (1 lsl n) - 1 do
+        for m2 = 0 to (1 lsl n) - 1 do
+          if not !found then begin
+            let vec m = Array.init n (fun j -> m land (1 lsl (n - 1 - j)) <> 0) in
+            let waves = Wave.simulate cmp ~v1:(vec m1) ~v2:(vec m2) in
+            if Robust.detects cmp waves path = Some direction then found := true
+          end
+        done
+      done;
+      !found
+    in
+    List.iter
+      (fun path ->
+        List.iter
+          (fun direction ->
+            match Pdf_atpg.generate ~backtrack_limit:100_000 ~seed:9L c ~path ~direction with
+            | Pdf_atpg.Test (v1, v2) ->
+              let waves = Wave.simulate cmp ~v1 ~v2 in
+              if Robust.detects cmp waves path <> Some direction then
+                Alcotest.failf "seed %d: returned test is not robust" seed
+            | Pdf_atpg.Untestable ->
+              if exhaustive_testable path direction then
+                Alcotest.failf "seed %d: claimed untestable but a test exists" seed
+            | Pdf_atpg.Aborted | Pdf_atpg.Unsupported -> ())
+          [ Robust.Rising; Robust.Falling ])
+      (Paths.enumerate c)
+  done
+
+let test_classify_comparison_unit () =
+  (* A comparison unit must classify as fully robustly testable. *)
+  let b = Comparison_unit.build_interval ~lo:11 ~hi:12 4 in
+  let s = Pdf_atpg.classify_all ~seed:4L b.Comparison_unit.circuit in
+  check int_ "no untestable" 0 s.Pdf_atpg.untestable;
+  check int_ "no aborts" 0 s.Pdf_atpg.aborted;
+  check bool_ "all testable" true (s.Pdf_atpg.testable > 0)
+
+let suite =
+  [
+    ("inverter chain", `Quick, test_inverter_chain);
+    ("reconvergent untestable path", `Quick, test_untestable_path);
+    ("xor paths unsupported", `Quick, test_xor_unsupported);
+    ("agrees with exhaustive two-pattern search", `Quick, test_atpg_agrees_with_exhaustive);
+    ("comparison units classify fully testable", `Quick, test_classify_comparison_unit);
+  ]

@@ -1,0 +1,182 @@
+(* Cross-cutting property-based tests (qcheck). *)
+
+let arb_seed = QCheck.int_range 1 1_000_000
+
+(* --- comparison units ------------------------------------------------------ *)
+
+let prop_unit_implements_interval =
+  QCheck.Test.make ~name:"comparison unit implements its interval (n=6)" ~count:150
+    (QCheck.pair (QCheck.int_range 0 63) (QCheck.int_range 0 63))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let built = Comparison_unit.build_interval ~lo ~hi 6 in
+      let spec =
+        {
+          Comparison_fn.perm = Array.init 6 (fun i -> i + 1);
+          lo;
+          hi;
+          complemented = false;
+        }
+      in
+      Comparison_unit.verify ~n:6 spec built
+      && Array.for_all (fun p -> p <= 2) built.Comparison_unit.input_paths)
+
+let prop_identify_scrambled_interval =
+  QCheck.Test.make ~name:"exact engine identifies scrambled intervals (n=6)" ~count:150
+    (QCheck.triple (QCheck.int_range 0 63) (QCheck.int_range 0 63) arb_seed)
+    (fun (a, b, seed) ->
+      let lo = min a b and hi = max a b in
+      let rng = Rng.create (Int64.of_int seed) in
+      let p = Array.init 6 (fun i -> i + 1) in
+      Rng.shuffle rng p;
+      let f = Truthtable.permute (Truthtable.interval 6 ~lo ~hi) p in
+      match Comparison_fn.identify_exact f with
+      | Some s -> Comparison_fn.check f s
+      | None -> false)
+
+let prop_spec_table_roundtrip =
+  QCheck.Test.make ~name:"spec_table respects check" ~count:200
+    (QCheck.quad (QCheck.int_range 0 31) (QCheck.int_range 0 31) arb_seed QCheck.bool)
+    (fun (a, b, seed, complemented) ->
+      let lo = min a b and hi = max a b in
+      let rng = Rng.create (Int64.of_int seed) in
+      let perm = Array.init 5 (fun i -> i + 1) in
+      Rng.shuffle rng perm;
+      let spec = { Comparison_fn.perm; lo; hi; complemented } in
+      let f = Comparison_fn.spec_table 5 spec in
+      Comparison_fn.check f spec)
+
+(* --- wave algebra ------------------------------------------------------------ *)
+
+(* Discrete waveform model: each input switches once at an arbitrary time.
+   When the algebra says a gate output is hazard-free, no timing assignment
+   may produce more than one output transition, and the endpoints must match
+   the algebra's init/final values. *)
+let prop_wave_hazard_free_is_sound =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        triple (oneofl [ Gate.And; Gate.Or; Gate.Nand; Gate.Nor; Gate.Xor; Gate.Xnor ])
+          (list_size (int_range 2 3) (triple bool bool (int_range 1 8)))
+          unit)
+  in
+  QCheck.Test.make ~name:"hazard-free verdicts survive arbitrary switch times"
+    ~count:300 gen
+    (fun (kind, inputs, ()) ->
+      let waves =
+        Array.of_list
+          (List.map (fun (i, f, _) -> { Wave.init = i; final = f; hf = true }) inputs)
+      in
+      let out = Wave.eval kind waves in
+      let times = List.map (fun (_, _, t) -> t) inputs in
+      (* waveform value of input j at time t *)
+      let value_at t =
+        List.mapi
+          (fun _ ((i, f, sw) : bool * bool * int) -> if t < sw then i else f)
+          inputs
+        |> Array.of_list
+      in
+      let samples = List.init 10 (fun t -> Gate.eval kind (value_at t)) in
+      let transitions =
+        let rec count prev = function
+          | [] -> 0
+          | v :: rest -> (if v <> prev then 1 else 0) + count v rest
+        in
+        match samples with [] -> 0 | first :: rest -> count first rest
+      in
+      let endpoints_ok =
+        match samples with
+        | [] -> false
+        | first :: _ ->
+          first = out.Wave.init
+          && List.nth samples (List.length samples - 1) = out.Wave.final
+      in
+      ignore times;
+      endpoints_ok && ((not out.Wave.hf) || transitions <= 1))
+
+(* --- paths -------------------------------------------------------------------- *)
+
+let prop_paths_match_enumeration =
+  QCheck.Test.make ~name:"Procedure 1 label sum equals explicit enumeration" ~count:60
+    arb_seed
+    (fun seed ->
+      let c = Helpers.random_circuit ~n_pi:4 ~n_gates:14 seed in
+      Paths.total c = List.length (Paths.enumerate c))
+
+(* --- resynthesis -------------------------------------------------------------- *)
+
+let prop_procedure2_safe =
+  QCheck.Test.make ~name:"Procedure 2 preserves function and never grows gates"
+    ~count:25 arb_seed
+    (fun seed ->
+      let c = Helpers.random_circuit ~n_pi:5 ~n_gates:24 ~n_po:3 seed in
+      let reference = Circuit.copy c in
+      let options =
+        { Engine.default_options with Engine.k = 4; max_candidates = 16; max_passes = 4 }
+      in
+      let stats = Procedure2.run ~options c in
+      Eval.equivalent_exhaustive reference c
+      && stats.Engine.gates_after <= stats.Engine.gates_before)
+
+let prop_procedure3_safe =
+  QCheck.Test.make ~name:"Procedure 3 preserves function and never grows paths"
+    ~count:25 arb_seed
+    (fun seed ->
+      let c = Helpers.random_circuit ~n_pi:5 ~n_gates:24 ~n_po:3 seed in
+      let reference = Circuit.copy c in
+      let options =
+        { Engine.default_options with Engine.k = 4; max_candidates = 16; max_passes = 4 }
+      in
+      let stats = Procedure3.run ~options c in
+      Eval.equivalent_exhaustive reference c
+      && stats.Engine.paths_after <= stats.Engine.paths_before)
+
+(* --- fault model ---------------------------------------------------------------- *)
+
+let prop_collapsed_subset =
+  QCheck.Test.make ~name:"collapsed fault list is a subset of the full list" ~count:60
+    arb_seed
+    (fun seed ->
+      let c = Helpers.random_circuit ~n_pi:5 ~n_gates:16 seed in
+      let full = Fault.all c in
+      List.for_all (fun f -> List.mem f full) (Fault.collapsed c))
+
+let prop_collapsing_preserves_campaign_completeness =
+  QCheck.Test.make
+    ~name:"a pattern set detecting all collapsed faults detects all faults" ~count:20
+    arb_seed
+    (fun seed ->
+      let c = Helpers.random_circuit ~n_pi:4 ~n_gates:12 seed in
+      let cmp = Compiled.of_circuit c in
+      let sim = Fsim.create cmp in
+      (* exhaustive 16-pattern set *)
+      let words =
+        Array.init 4 (fun j ->
+            (* bit m of word j = value of input j in minterm m *)
+            let w = ref 0L in
+            for m = 0 to 15 do
+              if m land (1 lsl (3 - j)) <> 0 then
+                w := Int64.logor !w (Int64.shift_left 1L m)
+            done;
+            !w)
+      in
+      Fsim.load_patterns sim words;
+      let mask = Int64.sub (Int64.shift_left 1L 16) 1L in
+      let detected f = Int64.logand (Fsim.detect sim f) mask <> 0L in
+      let all_collapsed_detected = List.for_all detected (Fault.collapsed c) in
+      let all_detected = List.for_all detected (Fault.all c) in
+      (* equivalence collapsing keeps detection equivalence classes intact *)
+      (not all_collapsed_detected) || all_detected)
+
+let suite =
+  [
+    prop_unit_implements_interval;
+    prop_identify_scrambled_interval;
+    prop_spec_table_roundtrip;
+    prop_wave_hazard_free_is_sound;
+    prop_paths_match_enumeration;
+    prop_procedure2_safe;
+    prop_procedure3_safe;
+    prop_collapsed_subset;
+    prop_collapsing_preserves_campaign_completeness;
+  ]

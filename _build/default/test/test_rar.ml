@@ -1,0 +1,50 @@
+open Helpers
+
+let test_rar_preserves_function () =
+  for seed = 1 to 6 do
+    let c = random_circuit ~n_pi:5 ~n_gates:22 ~n_po:3 seed in
+    let reference = Circuit.copy c in
+    let options =
+      { Rar.default_options with Rar.max_additions = 4; max_trials = 60; seed = Int64.of_int seed }
+    in
+    let stats = Rar.optimize ~options c in
+    Check.validate c;
+    if not (Eval.equivalent_exhaustive reference c) then
+      Alcotest.failf "seed %d: RAR broke the function" seed;
+    check bool_ "never grows" true (stats.Rar.gates_after <= stats.Rar.gates_before)
+  done
+
+let test_rar_finds_classic_rewrite () =
+  (* The textbook RAR example shape: adding a redundant connection makes an
+     existing wire redundant. We at least require the optimizer to remove the
+     straightforward redundancy AND(a, a'). *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input c in
+  let b = Circuit.add_input c in
+  let d = Circuit.add_input c in
+  let na = Circuit.add_gate c Gate.Not [| a |] in
+  let dead = Circuit.add_gate c Gate.And [| a; na |] in
+  let mid = Circuit.add_gate c Gate.Or [| dead; b |] in
+  let out = Circuit.add_gate c Gate.And [| mid; d |] in
+  Circuit.mark_output c out;
+  let reference = Circuit.copy c in
+  let stats = Rar.optimize ~options:{ Rar.default_options with Rar.max_additions = 2; max_trials = 40 } c in
+  check bool_ "equivalent" true (Eval.equivalent_exhaustive reference c);
+  check bool_ "removed redundancy" true (stats.Rar.removals > 0);
+  check bool_ "shrank" true (stats.Rar.gates_after < stats.Rar.gates_before)
+
+let test_rar_deterministic () =
+  let run () =
+    let c = random_circuit ~n_pi:5 ~n_gates:20 ~n_po:3 7 in
+    let options = { Rar.default_options with Rar.max_additions = 3; max_trials = 50; seed = 9L } in
+    let stats = Rar.optimize ~options c in
+    (stats.Rar.gates_after, Circuit.two_input_gate_count c)
+  in
+  check bool_ "deterministic" true (run () = run ())
+
+let suite =
+  [
+    ("RAR preserves function", `Quick, test_rar_preserves_function);
+    ("RAR removes obvious redundancy", `Quick, test_rar_finds_classic_rewrite);
+    ("RAR is deterministic", `Quick, test_rar_deterministic);
+  ]

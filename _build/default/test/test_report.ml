@@ -1,0 +1,20 @@
+open Helpers
+
+let test_int_formatting () =
+  check bool_ "groups" true (Table.int 1192971 = "1,192,971");
+  check bool_ "small" true (Table.int 42 = "42");
+  check bool_ "boundary" true (Table.int 1000 = "1,000");
+  check bool_ "negative" true (Table.int (-1234) = "-1,234")
+
+let test_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta"; "22" ];
+  let s = Table.render t in
+  check bool_ "title" true (String.length s > 0 && String.sub s 0 7 = "== demo");
+  check bool_ "row order kept" true
+    (let a = String.index s 'a' in
+     String.length s > a)
+
+let suite =
+  [ ("thousands separators", `Quick, test_int_formatting); ("render", `Quick, test_render) ]

@@ -1,0 +1,76 @@
+open Helpers
+
+let test_eval_c17 () =
+  let c = c17 () in
+  (* G22 = NAND(G10, G16); all-zero inputs: G10=1, G11=1, G16=1, G19=1,
+     G22 = NAND(1,1)=0, G23=0. *)
+  let outs = Eval.run c [| false; false; false; false; false |] in
+  check bool_ "G22" false outs.(0);
+  check bool_ "G23" false outs.(1)
+
+let test_output_table_matches_eval () =
+  let c = mixed () in
+  let t0 = Eval.output_table c 0 in
+  for m = 0 to 7 do
+    let inputs = Array.init 3 (fun j -> m land (1 lsl (2 - j)) <> 0) in
+    check bool_
+      (Printf.sprintf "minterm %d" m)
+      (Eval.run c inputs).(0)
+      (Truthtable.get t0 m)
+  done
+
+let test_word_sim_matches_scalar () =
+  for seed = 1 to 10 do
+    let c = random_circuit ~n_pi:6 ~n_gates:30 seed in
+    let cmp = Compiled.of_circuit c in
+    let rng = Rng.create (Int64.of_int (seed * 7)) in
+    let words = Array.init 6 (fun _ -> Rng.next64 rng) in
+    let values = Compiled.simulate cmp words in
+    (* compare 8 of the 64 slots against scalar evaluation *)
+    for slot = 0 to 7 do
+      let inputs =
+        Array.map
+          (fun w -> Int64.logand (Int64.shift_right_logical w slot) 1L = 1L)
+          words
+      in
+      let scalar = Eval.run c inputs in
+      Array.iteri
+        (fun k o ->
+          let parallel =
+            Int64.logand (Int64.shift_right_logical values.(o) slot) 1L = 1L
+          in
+          check bool_ (Printf.sprintf "seed %d slot %d out %d" seed slot k)
+            scalar.(k) parallel)
+        (Circuit.outputs c)
+    done
+  done
+
+let test_equivalence_checks () =
+  let c = c17 () in
+  let c2 = Bench_format.of_string (Bench_format.to_string c) in
+  check bool_ "exhaustive equal" true (Eval.equivalent_exhaustive c c2);
+  check bool_ "random equal" true (Eval.equivalent_random ~seed:1L c c2);
+  (* flip one gate kind *)
+  let c3 = Circuit.copy c in
+  let order = Circuit.topo_order c3 in
+  let g = order.(Array.length order - 1) in
+  Circuit.set_kind c3 g Gate.And;
+  check bool_ "exhaustive differ" false (Eval.equivalent_exhaustive c c3);
+  check bool_ "random differ" false (Eval.equivalent_random ~seed:1L c c3)
+
+let test_rng_determinism () =
+  let a = Rng.create 99L and b = Rng.create 99L in
+  for _ = 1 to 100 do
+    check bool_ "same stream" true (Rng.next64 a = Rng.next64 b)
+  done;
+  let xs = Array.init 1000 (fun _ -> Rng.int a 10) in
+  Array.iter (fun x -> check bool_ "in range" true (x >= 0 && x < 10)) xs
+
+let suite =
+  [
+    ("c17 single-pattern", `Quick, test_eval_c17);
+    ("output_table matches eval", `Quick, test_output_table_matches_eval);
+    ("64-way word sim matches scalar", `Quick, test_word_sim_matches_scalar);
+    ("equivalence checkers", `Quick, test_equivalence_checks);
+    ("rng determinism", `Quick, test_rng_determinism);
+  ]

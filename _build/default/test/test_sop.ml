@@ -1,0 +1,78 @@
+open Helpers
+
+let tt = Alcotest.testable Truthtable.pp Truthtable.equal
+
+let test_primes_classic () =
+  (* f(x1,x2,x3) = Σ(0,1,2,5,6,7): classic QM example with primes
+     x1'x2', x2'x3, x1x3, x1x2, x2x3' and the two cyclic cores. *)
+  let f = Truthtable.of_minterms 3 [ 0; 1; 2; 5; 6; 7 ] in
+  let ps = Sop.primes f in
+  check int_ "six primes" 6 (List.length ps);
+  List.iter
+    (fun p ->
+      (* every prime is an implicant *)
+      for m = 0 to 7 do
+        if Sop.cube_covers p m then
+          check bool_ "implicant" true (Truthtable.get f m)
+      done)
+    ps
+
+let test_minimise_covers () =
+  let rng = Rng.create 5L in
+  for _ = 1 to 60 do
+    let n = 3 + Rng.int rng 3 in
+    let f = Truthtable.create n (fun _ -> Rng.bool rng) in
+    let cover = Sop.minimise f in
+    check tt "cover computes f" f (Sop.to_truthtable n cover)
+  done
+
+let test_minimise_interval_is_compact () =
+  (* A single prime implicant function minimises to exactly one cube. *)
+  let f = Truthtable.land_ (Truthtable.var 4 1) (Truthtable.var 4 3) in
+  let cover = Sop.minimise f in
+  check int_ "one cube" 1 (List.length cover);
+  check int_ "two literals" 2 (Sop.literals cover)
+
+let test_to_circuit () =
+  let rng = Rng.create 9L in
+  for _ = 1 to 30 do
+    let n = 3 + Rng.int rng 2 in
+    let f = Truthtable.create n (fun _ -> Rng.bool rng) in
+    let c = Sop.to_circuit n (Sop.minimise f) in
+    Check.validate c;
+    check tt "circuit computes f" f (Eval.output_table c 0)
+  done
+
+let test_paper_section2_example () =
+  (* f1 of Sec. 2: both printed SOPs have 9 literals; our minimiser must do
+     at least as well and Procedure 2's input cost model (literal count)
+     should agree with the built circuit. *)
+  let f1 =
+    Truthtable.lor_
+      (Truthtable.lor_
+         (* x1' x2 x4 *)
+         (Truthtable.land_
+            (Truthtable.lnot (Truthtable.var 4 1))
+            (Truthtable.land_ (Truthtable.var 4 2) (Truthtable.var 4 4)))
+         (* x1 x2' x3' *)
+         (Truthtable.land_ (Truthtable.var 4 1)
+            (Truthtable.land_
+               (Truthtable.lnot (Truthtable.var 4 2))
+               (Truthtable.lnot (Truthtable.var 4 3)))))
+      (* x2 x3' x4 *)
+      (Truthtable.land_ (Truthtable.var 4 2)
+         (Truthtable.land_ (Truthtable.lnot (Truthtable.var 4 3)) (Truthtable.var 4 4)))
+  in
+  let cover = Sop.minimise f1 in
+  check tt "exact" f1 (Sop.to_truthtable 4 cover);
+  check bool_ "at most 9 literals" true (Sop.literals cover <= 9);
+  check int_ "three cubes" 3 (List.length cover)
+
+let suite =
+  [
+    ("primes: classic QM example", `Quick, test_primes_classic);
+    ("minimise covers the function", `Quick, test_minimise_covers);
+    ("single-implicant compactness", `Quick, test_minimise_interval_is_compact);
+    ("to_circuit", `Quick, test_to_circuit);
+    ("paper Sec. 2 f1", `Quick, test_paper_section2_example);
+  ]

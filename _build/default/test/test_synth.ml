@@ -1,0 +1,229 @@
+open Helpers
+
+(* --- Subcircuit enumeration ------------------------------------------------ *)
+
+let test_enumerate_c17 () =
+  let c = c17 () in
+  let outs = Circuit.outputs c in
+  let g22 = outs.(0) in
+  let subs = Subcircuit.enumerate ~k:5 ~max_candidates:64 c g22 in
+  check bool_ "several candidates" true (List.length subs >= 2);
+  (* first candidate is the single gate *)
+  (match subs with
+  | first :: _ ->
+    check int_ "single-gate candidate" 1 (List.length first.Subcircuit.gates);
+    check int_ "two inputs" 2 (Array.length first.Subcircuit.inputs)
+  | [] -> Alcotest.fail "no candidates");
+  List.iter
+    (fun s ->
+      check bool_ "inputs within limit" true (Array.length s.Subcircuit.inputs <= 5);
+      check bool_ "root member" true (List.mem g22 s.Subcircuit.gates))
+    subs
+
+let test_extract_single_gate () =
+  let c = c17 () in
+  let g22 = (Circuit.outputs c).(0) in
+  let subs = Subcircuit.enumerate ~k:2 ~max_candidates:4 c g22 in
+  match subs with
+  | first :: _ ->
+    let tt = Subcircuit.extract c first in
+    (* a NAND2: ON-set {0,1,2} *)
+    check bool_ "nand tt" true (Truthtable.minterms tt = [ 0; 1; 2 ])
+  | [] -> Alcotest.fail "no candidate"
+
+let test_extract_matches_cone_eval () =
+  (* Extraction must agree with whole-circuit evaluation on the cone. *)
+  for seed = 1 to 6 do
+    let c = random_circuit ~n_pi:5 ~n_gates:14 seed in
+    let order = Circuit.topo_order c in
+    let root = order.(Array.length order - 1) in
+    match Circuit.kind c root with
+    | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+    | _ ->
+      let subs = Subcircuit.enumerate ~k:4 ~max_candidates:16 c root in
+      List.iter
+        (fun s ->
+          let tt = Subcircuit.extract c s in
+          (* pick a few random input assignments of the whole circuit and
+             compare the subcircuit input/output values *)
+          let rng = Rng.create (Int64.of_int (seed * 13)) in
+          for _ = 1 to 16 do
+            let vec = Array.init 5 (fun _ -> Rng.bool rng) in
+            let values = Eval.node_values c vec in
+            let sub_in = Array.map (fun i -> values.(i)) s.Subcircuit.inputs in
+            check bool_ "extract consistent" values.(root) (Truthtable.eval tt sub_in)
+          done)
+        subs
+  done
+
+let test_removable_respects_sharing () =
+  (* b = AND(x,y); z1 = OR(b, w); z2 = NOT(b): a subcircuit {z1, b} cannot
+     count b as removable because z2 still reads it. *)
+  let c = Circuit.create () in
+  let x = Circuit.add_input c in
+  let y = Circuit.add_input c in
+  let w = Circuit.add_input c in
+  let b = Circuit.add_gate c Gate.And [| x; y |] in
+  let z1 = Circuit.add_gate c Gate.Or [| b; w |] in
+  let z2 = Circuit.add_gate c Gate.Not [| b |] in
+  Circuit.mark_output c z1;
+  Circuit.mark_output c z2;
+  let s = { Subcircuit.root = z1; gates = [ b; z1 ]; inputs = [| x; y; w |] } in
+  let removable = Subcircuit.removable_gates c s in
+  check bool_ "b kept" false (List.mem b removable);
+  check bool_ "root removable" true (List.mem z1 removable);
+  check int_ "cost counts only the OR" 1 (Subcircuit.removable_cost c s)
+
+(* --- Replacement ------------------------------------------------------------ *)
+
+let test_splice_preserves_function () =
+  let c = c17 () in
+  let reference = Circuit.copy c in
+  let g22 = (Circuit.outputs c).(0) in
+  let subs = Subcircuit.enumerate ~k:5 ~max_candidates:32 c g22 in
+  (* find an identifiable multi-gate candidate and splice it *)
+  let rng = Rng.create 5L in
+  let candidate =
+    List.find_map
+      (fun s ->
+        if List.length s.Subcircuit.gates < 2 then None
+        else
+          let tt = Subcircuit.extract c s in
+          Option.map
+            (fun spec -> (s, spec))
+            (Comparison_fn.identify Comparison_fn.Exact rng tt))
+      subs
+  in
+  match candidate with
+  | None -> Alcotest.fail "expected an identifiable subcircuit in c17"
+  | Some (s, spec) ->
+    let built = Comparison_unit.build ~n:(Array.length s.Subcircuit.inputs) spec in
+    let _out = Replace.splice c s built in
+    Check.validate c;
+    check bool_ "function preserved" true (Eval.equivalent_exhaustive reference c)
+
+(* --- Procedures -------------------------------------------------------------- *)
+
+let proc_options =
+  { Engine.default_options with Engine.k = 4; max_candidates = 24; max_passes = 6 }
+
+let test_procedure2_c17 () =
+  let c = c17 () in
+  let reference = Circuit.copy c in
+  let stats = Procedure2.run ~options:proc_options c in
+  Check.validate c;
+  check bool_ "equivalent" true (Eval.equivalent_exhaustive reference c);
+  check bool_ "gates not increased" true
+    (stats.Engine.gates_after <= stats.Engine.gates_before)
+
+let test_procedure2_random () =
+  for seed = 50 to 62 do
+    let c = random_circuit ~n_pi:6 ~n_gates:30 ~n_po:4 seed in
+    let reference = Circuit.copy c in
+    let stats = Procedure2.run ~options:proc_options c in
+    Check.validate c;
+    if not (Eval.equivalent_exhaustive reference c) then
+      Alcotest.failf "seed %d: procedure 2 broke the function" seed;
+    if stats.Engine.gates_after > stats.Engine.gates_before then
+      Alcotest.failf "seed %d: procedure 2 increased gates (%d -> %d)" seed
+        stats.Engine.gates_before stats.Engine.gates_after
+  done
+
+let test_procedure3_random () =
+  for seed = 70 to 82 do
+    let c = random_circuit ~n_pi:6 ~n_gates:30 ~n_po:4 seed in
+    let reference = Circuit.copy c in
+    let stats = Procedure3.run ~options:proc_options c in
+    Check.validate c;
+    if not (Eval.equivalent_exhaustive reference c) then
+      Alcotest.failf "seed %d: procedure 3 broke the function" seed;
+    if stats.Engine.paths_after > stats.Engine.paths_before then
+      Alcotest.failf "seed %d: procedure 3 increased paths (%d -> %d)" seed
+        stats.Engine.paths_before stats.Engine.paths_after
+  done
+
+let test_procedure2_reduces_on_chain_example () =
+  (* A >= block implemented wastefully as two-level logic: x1 + x2 x3 + x2 x4
+     ... actually use ON-set [3..15] over 4 vars in sum-of-products form:
+     f = x1 + x2 x3 + x2 x4 — that's >= 3? minterms with value >= 3 over
+     (x1,x2,x3,x4): f = x1 + x2 + x3 x4. Build it as SOP with 5 2-input
+     equivalent gates; the comparison unit needs 3. *)
+  let c = Circuit.create () in
+  let x1 = Circuit.add_input c in
+  let x2 = Circuit.add_input c in
+  let x3 = Circuit.add_input c in
+  let x4 = Circuit.add_input c in
+  let t = Circuit.add_gate c Gate.And [| x3; x4 |] in
+  let u = Circuit.add_gate c Gate.Or [| x1; x2 |] in
+  let f = Circuit.add_gate c Gate.Or [| u; t |] in
+  Circuit.mark_output c f;
+  let reference = Circuit.copy c in
+  let c2 = Circuit.copy c in
+  let stats = Procedure2.run ~options:proc_options c2 in
+  check bool_ "equivalent" true (Eval.equivalent_exhaustive reference c2);
+  check bool_ "no growth" true (stats.Engine.gates_after <= stats.Engine.gates_before);
+  (* The >= 3 structure is already minimal: expect it unchanged (3 gates). *)
+  check int_ "stays at 3" 3 stats.Engine.gates_after
+
+let test_procedure2_removes_waste () =
+  (* An ON-interval function implemented redundantly wide:
+     f = interval [5,10] over 4 inputs as a two-level SOP. Procedure 2 should
+     rebuild it as the 7-gate comparison unit of Figure 1 or better. *)
+  let c = Circuit.create () in
+  let x = Array.init 4 (fun _ -> Circuit.add_input c) in
+  let inv = Array.map (fun v -> Circuit.add_gate c Gate.Not [| v |]) x in
+  let product bits =
+    let lits =
+      List.mapi (fun i b -> match b with
+        | `P -> x.(i)
+        | `N -> inv.(i)
+        | `D -> -1)
+        bits
+      |> List.filter (fun v -> v >= 0)
+    in
+    Circuit.add_gate c Gate.And (Array.of_list lits)
+  in
+  (* minterms 5,6,7,8,9,10 = 0101,0110,0111,1000,1001,1010 *)
+  let terms =
+    [
+      product [ `N; `P; `N; `P ] (* 0101 *);
+      product [ `N; `P; `P; `D ] (* 011- *);
+      product [ `P; `N; `N; `D ] (* 100- *);
+      product [ `P; `N; `P; `N ] (* 1010 *);
+    ]
+  in
+  let f = Circuit.add_gate c Gate.Or (Array.of_list terms) in
+  Circuit.mark_output c f;
+  let reference = Circuit.copy c in
+  let options = { proc_options with Engine.k = 5 } in
+  let stats = Procedure2.run ~options c in
+  check bool_ "equivalent" true (Eval.equivalent_exhaustive reference c);
+  check bool_ "shrank" true (stats.Engine.gates_after < stats.Engine.gates_before);
+  check bool_ "unit-sized result" true (stats.Engine.gates_after <= 7)
+
+let test_sampled_engine_also_works () =
+  let options =
+    { proc_options with Engine.engine = Comparison_fn.Sampled 200 }
+  in
+  for seed = 90 to 94 do
+    let c = random_circuit ~n_pi:5 ~n_gates:25 ~n_po:3 seed in
+    let reference = Circuit.copy c in
+    ignore (Procedure2.run ~options c);
+    if not (Eval.equivalent_exhaustive reference c) then
+      Alcotest.failf "seed %d: sampled engine broke the function" seed
+  done
+
+let suite =
+  [
+    ("enumerate: c17 candidates", `Quick, test_enumerate_c17);
+    ("extract: single NAND", `Quick, test_extract_single_gate);
+    ("extract agrees with cone evaluation", `Quick, test_extract_matches_cone_eval);
+    ("removable gates respect sharing", `Quick, test_removable_respects_sharing);
+    ("splice preserves function", `Quick, test_splice_preserves_function);
+    ("procedure 2 on c17", `Quick, test_procedure2_c17);
+    ("procedure 2 on random circuits", `Quick, test_procedure2_random);
+    ("procedure 3 on random circuits", `Quick, test_procedure3_random);
+    ("procedure 2 keeps minimal >=3 structure", `Quick, test_procedure2_reduces_on_chain_example);
+    ("procedure 2 rebuilds wasteful interval logic", `Quick, test_procedure2_removes_waste);
+    ("procedure 2 with sampled identification", `Quick, test_sampled_engine_also_works);
+  ]

@@ -1,0 +1,80 @@
+open Helpers
+
+let test_subject_graph_equivalence () =
+  let c = c17 () in
+  let s = Mapper.subject_graph c in
+  Check.validate s;
+  check bool_ "same function" true (Eval.equivalent_exhaustive c s);
+  (* only NAND2 / NOT remain *)
+  Circuit.iter_live s (fun id ->
+      match Circuit.kind s id with
+      | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Not -> ()
+      | Gate.Nand -> check int_ "nand2" 2 (Circuit.fanin_count s id)
+      | k -> Alcotest.failf "unexpected %s in subject graph" (Gate.to_string k))
+
+let test_subject_graph_random () =
+  for seed = 1 to 10 do
+    let c = random_circuit ~n_pi:5 ~n_gates:20 seed in
+    let s = Mapper.subject_graph c in
+    Check.validate s;
+    if not (Eval.equivalent_exhaustive c s) then
+      Alcotest.failf "seed %d: subject graph not equivalent" seed
+  done
+
+let test_map_c17 () =
+  let r = Mapper.map (c17 ()) in
+  check bool_ "literals sane" true (r.Mapper.literals >= 8 && r.Mapper.literals <= 20);
+  check bool_ "depth sane" true (r.Mapper.longest >= 2 && r.Mapper.longest <= 6);
+  check bool_ "cells sane" true (r.Mapper.cells_used >= 4)
+
+let test_map_monotonic_in_size () =
+  (* Mapping an obviously larger circuit should cost more literals. *)
+  let small = c17 () in
+  let big = random_circuit ~n_pi:6 ~n_gates:60 ~n_po:4 3 in
+  let rs = Mapper.map small and rb = Mapper.map big in
+  check bool_ "bigger maps bigger" true (rb.Mapper.literals > rs.Mapper.literals)
+
+let test_inverter_chain_collapses () =
+  (* INV(INV(x)) vanishes in the subject graph. *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input c in
+  let b = Circuit.add_input c in
+  let n1 = Circuit.add_gate c Gate.Not [| a |] in
+  let n2 = Circuit.add_gate c Gate.Not [| n1 |] in
+  let g = Circuit.add_gate c Gate.And [| n2; b |] in
+  Circuit.mark_output c g;
+  let r = Mapper.map c in
+  (* AND2 = one cell of 2 literals *)
+  check int_ "two literals" 2 r.Mapper.literals;
+  check int_ "one cell level" 1 r.Mapper.longest
+
+let test_nand4_matches () =
+  (* A 4-input NAND should map to a single NAND4 cell (4 literals, depth 1). *)
+  let c = Circuit.create () in
+  let xs = Array.init 4 (fun _ -> Circuit.add_input c) in
+  let g = Circuit.add_gate c Gate.Nand xs in
+  Circuit.mark_output c g;
+  let r = Mapper.map c in
+  check int_ "4 literals" 4 r.Mapper.literals;
+  check int_ "single cell" 1 r.Mapper.cells_used
+
+let test_xor_maps () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input c in
+  let b = Circuit.add_input c in
+  let g = Circuit.add_gate c Gate.Xor [| a; b |] in
+  Circuit.mark_output c g;
+  let r = Mapper.map c in
+  (* the 4-NAND network: internal fanout forces >= 3 cells *)
+  check bool_ "xor cost" true (r.Mapper.literals >= 6 && r.Mapper.literals <= 8)
+
+let suite =
+  [
+    ("subject graph: c17 equivalent, NAND2/INV only", `Quick, test_subject_graph_equivalence);
+    ("subject graph: random circuits", `Quick, test_subject_graph_random);
+    ("map c17", `Quick, test_map_c17);
+    ("map grows with circuit size", `Quick, test_map_monotonic_in_size);
+    ("double inverter collapses", `Quick, test_inverter_chain_collapses);
+    ("NAND4 single-cell match", `Quick, test_nand4_matches);
+    ("XOR decomposition maps", `Quick, test_xor_maps);
+  ]
