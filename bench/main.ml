@@ -5,6 +5,11 @@
      --full         paper-scale budgets where feasible
      --only IDS     comma-separated subset of: figures,table1,table2,table3,
                     table4,table5,table6,table7,ablations,micro
+     --json FILE    write a machine-readable BENCH_results.json snapshot
+                    (per-section wall clock, circuit sizes, parallel
+                    speedups; schema in DESIGN.md "Parallel execution")
+     --domains N    domain budget for the parallel kernels (default
+                    Pool.default_domains (), i.e. recommended - 1)
    Every table prints our measured rows next to the paper's published rows;
    absolute numbers differ (synthetic stand-in circuits, scaled budgets) but
    the qualitative shape is the claim under test. EXPERIMENTS.md records a
@@ -12,6 +17,8 @@
 
 let quick = ref false
 let only : string list ref = ref []
+let json_file : string option ref = ref None
+let domains = ref (Pool.default_domains ())
 
 let () =
   let rec parse = function
@@ -25,21 +32,73 @@ let () =
     | "--only" :: ids :: rest ->
       only := String.split_on_char ',' ids;
       parse rest
-    | other :: rest ->
-      Printf.eprintf "warning: ignoring argument %s\n" other;
+    | "--json" :: file :: rest ->
+      json_file := Some file;
       parse rest
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n -> domains := max 1 n
+      | None ->
+        Printf.eprintf "error: --domains expects an integer, got %s\n" n;
+        exit 2);
+      parse rest
+    | other :: _ ->
+      (* A typo'd flag must not silently fall through to a full-scale run. *)
+      Printf.eprintf
+        "error: unknown argument %s\n\
+         usage: main.exe [--quick|--full] [--only IDS] [--json FILE] \
+         [--domains N]\n"
+        other;
+      exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
 
 let enabled id = !only = [] || List.mem id !only
 
+(* CPU time for the per-section progress lines (historic behaviour) ... *)
 let now () = Sys.time ()
+
+(* ... but wall clock for everything recorded in the JSON snapshot: the
+   whole point of the parallel kernels is wall-clock speedup. *)
+let wall () = Unix.gettimeofday ()
+
+let time_wall f =
+  let t0 = wall () in
+  let r = f () in
+  (r, wall () -. t0)
+
+(* --- JSON snapshot accumulators ----------------------------------------- *)
+
+type speedup_row = {
+  sp_kernel : string;
+  sp_circuit : string;
+  sp_domains : int;
+  sp_serial : float;
+  sp_parallel : float;
+  sp_identical : bool;
+}
+
+let json_sections : (string * string * float) list ref = ref []
+let json_circuits : (string * int * int * int * int) list ref = ref []
+let json_speedups : speedup_row list ref = ref []
+
+let record_circuit name c =
+  let row =
+    ( name,
+      Circuit.num_inputs c,
+      Circuit.num_outputs c,
+      Circuit.two_input_gate_count c,
+      try Paths.total c with Paths.Overflow -> -1 )
+  in
+  if not (List.mem row !json_circuits) then json_circuits := row :: !json_circuits
 
 let section id title f =
   if enabled id then begin
     Printf.printf "\n################ %s — %s\n%!" id title;
     let t0 = now () in
+    let w0 = wall () in
     f ();
+    json_sections := (id, title, wall () -. w0) :: !json_sections;
     Printf.printf "[%s done in %.1fs cpu]\n%!" id (now () -. t0)
   end
 
@@ -623,7 +682,7 @@ let ablations () =
 (* Bechamel micro-benchmarks: one kernel per table/figure               *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
+let rec micro () =
   let open Bechamel in
   let c17 = Benchmarks.c17 () in
   let unit_spec =
@@ -684,7 +743,11 @@ let micro () =
         (Staged.stage (fun () -> Paths.total small));
     ]
   in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if !quick then 0.05 else 0.25))
+      ~kde:None ()
+  in
   let instance = Toolkit.Instance.monotonic_clock in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -700,9 +763,181 @@ let micro () =
           | Some [ est ] -> Printf.printf "%-44s %16.1f\n" name est
           | Some _ | None -> Printf.printf "%-44s %16s\n" name "n/a")
         stats)
-    tests
+    tests;
+  parallel_speedups ()
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-engine speedups: the three hottest loops, measured serial   *)
+(* (1 domain) against the --domains pool, with a bit-identity check.    *)
+(* ------------------------------------------------------------------ *)
+
+and parallel_speedups () =
+  let nd = !domains in
+  Printf.printf "\nparallel kernels: 1 domain vs %d domains (recommended %d)\n" nd
+    (Domain.recommended_domain_count ());
+  let report row =
+    json_speedups := row :: !json_speedups;
+    Printf.printf "%-28s %-10s serial %8.3fs  parallel %8.3fs  speedup %5.2fx  %s\n%!"
+      row.sp_kernel row.sp_circuit row.sp_serial row.sp_parallel
+      (if row.sp_parallel > 0. then row.sp_serial /. row.sp_parallel else 0.)
+      (if row.sp_identical then "bit-identical" else "RESULTS DIFFER (bug!)")
+  in
+  (* Fault-simulation campaign: shard the fault list. *)
+  let par_circuit =
+    Circuit_gen.generate
+      {
+        Circuit_gen.name = "micro-par";
+        n_pi = 32;
+        n_po = 20;
+        n_gates = (if !quick then 400 else 900);
+        depth = 12;
+        combine_pct = 25;
+        xor_pct = 4;
+        seed = 1234L;
+      }
+  in
+  record_circuit "micro-par" par_circuit;
+  let budget = if !quick then 2_048 else 16_384 in
+  let r1, t1 =
+    time_wall (fun () -> Campaign.run ~max_patterns:budget ~domains:1 ~seed:7L par_circuit)
+  in
+  let rn, tn =
+    time_wall (fun () -> Campaign.run ~max_patterns:budget ~domains:nd ~seed:7L par_circuit)
+  in
+  report
+    {
+      sp_kernel = "fault_sim_campaign";
+      sp_circuit = "micro-par";
+      sp_domains = nd;
+      sp_serial = t1;
+      sp_parallel = tn;
+      sp_identical = r1 = rn;
+    };
+  (* Robust PDF campaign: fan out the wave simulations. *)
+  let small =
+    Circuit_gen.generate
+      {
+        Circuit_gen.name = "micro";
+        n_pi = 24;
+        n_po = 16;
+        n_gates = 130;
+        depth = 10;
+        combine_pct = 25;
+        xor_pct = 4;
+        seed = 99L;
+      }
+  in
+  record_circuit "micro" small;
+  let pairs = if !quick then 2_000 else 20_000 in
+  let p1, tp1 =
+    time_wall (fun () ->
+        Pdf_campaign.run ~max_pairs:pairs ~stop_window:pairs ~domains:1 ~seed:77L small)
+  in
+  let pn, tpn =
+    time_wall (fun () ->
+        Pdf_campaign.run ~max_pairs:pairs ~stop_window:pairs ~domains:nd ~seed:77L small)
+  in
+  report
+    {
+      sp_kernel = "pdf_campaign";
+      sp_circuit = "micro";
+      sp_domains = nd;
+      sp_serial = tp1;
+      sp_parallel = tpn;
+      sp_identical = p1 = pn;
+    };
+  (* Resynthesis engine: concurrent candidate scoring. *)
+  let engine_opts d =
+    { (proc2_options 5) with Engine.max_candidates = 32; max_passes = 1; domains = d }
+  in
+  let (s1, c1), te1 =
+    time_wall (fun () ->
+        let c = Circuit.copy par_circuit in
+        (Procedure2.run ~options:(engine_opts 1) c, c))
+  in
+  let (sn, cn), ten =
+    time_wall (fun () ->
+        let c = Circuit.copy par_circuit in
+        (Procedure2.run ~options:(engine_opts nd) c, c))
+  in
+  report
+    {
+      sp_kernel = "engine_score_candidates";
+      sp_circuit = "micro-par";
+      sp_domains = nd;
+      sp_serial = te1;
+      sp_parallel = ten;
+      sp_identical = s1 = sn && Bench_format.to_string c1 = Bench_format.to_string cn;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable snapshot (--json FILE). Schema: DESIGN.md,          *)
+(* "Parallel execution" section.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json file =
+  let b = Buffer.create 4096 in
+  let item first s = (if not first then Buffer.add_string b ",\n"); Buffer.add_string b s in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b "  \"generator\": \"sft bench harness\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full"));
+  Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" !domains);
+  Buffer.add_string b
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string b "  \"sections\": [\n";
+  List.iteri
+    (fun i (id, title, secs) ->
+      item (i = 0)
+        (Printf.sprintf "    {\"id\": \"%s\", \"title\": \"%s\", \"wall_seconds\": %.6f}"
+           (json_escape id) (json_escape title) secs))
+    (List.rev !json_sections);
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"circuits\": [\n";
+  List.iteri
+    (fun i (name, pis, pos, gates2, paths) ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"inputs\": %d, \"outputs\": %d, \"gates2\": %d, \
+            \"paths\": %s}"
+           (json_escape name) pis pos gates2
+           (if paths < 0 then "null" else string_of_int paths)))
+    (List.rev !json_circuits);
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"speedups\": [\n";
+  List.iteri
+    (fun i r ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"circuit\": \"%s\", \"domains\": %d, \
+            \"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, \"speedup\": %.4f, \
+            \"identical_results\": %b}"
+           (json_escape r.sp_kernel) (json_escape r.sp_circuit) r.sp_domains
+           r.sp_serial r.sp_parallel
+           (if r.sp_parallel > 0. then r.sp_serial /. r.sp_parallel else 0.)
+           r.sp_identical))
+    (List.rev !json_speedups);
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
 
 let () =
   Printf.printf "sft bench harness (%s mode)\n" (if !quick then "quick" else "full");
@@ -715,4 +950,11 @@ let () =
   section "table6" "random-pattern stuck-at testability" table6;
   section "table7" "robust PDF random-pattern campaigns" table7;
   section "ablations" "design-choice ablations" ablations;
-  section "micro" "Bechamel micro-benchmarks" micro
+  section "micro" "Bechamel micro-benchmarks" micro;
+  match !json_file with
+  | None -> ()
+  | Some file -> (
+    try write_json file
+    with Sys_error msg ->
+      Printf.eprintf "error: could not write %s: %s\n" file msg;
+      exit 1)

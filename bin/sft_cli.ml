@@ -31,6 +31,17 @@ let output_arg =
 let seed_arg =
   Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Computation domains for parallel execution: 0 picks the \
+           recommended domain count minus one, 1 forces the serial path. \
+           Results are identical for every value.")
+
+let resolve_domains d = if d <= 0 then Pool.default_domains () else d
+
 let save output c =
   match output with
   | Some path ->
@@ -104,7 +115,7 @@ let gen_cmd =
 
 let optimize_cmd =
   let run file bench objective k engine budget no_merge verify dontcares units
-      output =
+      domains output =
     let c = load ~file ~bench in
     let objective =
       match objective with
@@ -127,6 +138,7 @@ let optimize_cmd =
         verify_global = verify;
         use_dontcares = dontcares;
         max_units = units;
+        domains = resolve_domains domains;
       }
     in
     let stats = Engine.optimize objective options c in
@@ -170,7 +182,7 @@ let optimize_cmd =
        ~doc:"Resynthesise with comparison units (Procedures 2 and 3 of the paper).")
     Term.(
       const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
-      $ verify $ dontcares $ units $ output_arg)
+      $ verify $ dontcares $ units $ domains_arg $ output_arg)
 
 (* --- rar ------------------------------------------------------------------ *)
 
@@ -206,9 +218,11 @@ let redundancy_cmd =
 (* --- fsim ------------------------------------------------------------------ *)
 
 let fsim_cmd =
-  let run file bench patterns seed =
+  let run file bench patterns domains seed =
     let c = load ~file ~bench in
-    let r = Campaign.run ~max_patterns:patterns ~seed c in
+    let r =
+      Campaign.run ~max_patterns:patterns ~domains:(resolve_domains domains) ~seed c
+    in
     Format.printf "%a@." Campaign.pp_result r
   in
   let patterns =
@@ -216,7 +230,7 @@ let fsim_cmd =
   in
   Cmd.v
     (Cmd.info "fsim" ~doc:"Random-pattern stuck-at fault simulation campaign (Table 6).")
-    Term.(const run $ file_arg $ bench_arg $ patterns $ seed_arg)
+    Term.(const run $ file_arg $ bench_arg $ patterns $ domains_arg $ seed_arg)
 
 (* --- atpg ------------------------------------------------------------------ *)
 
@@ -236,9 +250,12 @@ let atpg_cmd =
 (* --- pdf ------------------------------------------------------------------ *)
 
 let pdf_cmd =
-  let run file bench pairs window seed =
+  let run file bench pairs window domains seed =
     let c = load ~file ~bench in
-    let r = Pdf_campaign.run ~max_pairs:pairs ~stop_window:window ~seed c in
+    let r =
+      Pdf_campaign.run ~max_pairs:pairs ~stop_window:window
+        ~domains:(resolve_domains domains) ~seed c
+    in
     Format.printf "%a@." Pdf_campaign.pp_result r
   in
   let pairs = Arg.(value & opt int 200_000 & info [ "pairs" ] ~doc:"Two-pattern test budget.") in
@@ -248,7 +265,7 @@ let pdf_cmd =
   Cmd.v
     (Cmd.info "pdf"
        ~doc:"Random-pattern robust path-delay-fault campaign (Table 7).")
-    Term.(const run $ file_arg $ bench_arg $ pairs $ window $ seed_arg)
+    Term.(const run $ file_arg $ bench_arg $ pairs $ window $ domains_arg $ seed_arg)
 
 (* --- map ------------------------------------------------------------------ *)
 

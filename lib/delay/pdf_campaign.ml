@@ -88,7 +88,10 @@ let mark st waves =
   !fresh
 
 let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
-    ?(max_marked_paths = 50_000_000) ~seed c =
+    ?(max_marked_paths = 50_000_000) ?domains ~seed c =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
   let cmp = Compiled.of_circuit c in
   let labels =
     try Paths.labels c
@@ -119,19 +122,60 @@ let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
   let rng = Rng.create seed in
   let n_pi = Array.length (Compiled.inputs cmp) in
   let random_vec () = Array.init n_pi (fun _ -> Rng.bool rng) in
+  (* Both code paths draw pairs through the same function so the random
+     stream is consumed identically pair by pair. *)
+  let draw_pair () =
+    let v1 = random_vec () and v2 = random_vec () in
+    (v1, v2)
+  in
   let last_effective = ref 0 in
   let applied = ref 0 in
-  (try
-     while
-       !applied < max_pairs
-       && !applied - !last_effective < stop_window
-       && st.detected < 2 * total_paths
-     do
-       let v1 = random_vec () and v2 = random_vec () in
-       incr applied;
-       let waves = Wave.simulate cmp ~v1 ~v2 in
-       if mark st waves > 0 then last_effective := !applied
-     done
+  let continue_ () =
+    !applied < max_pairs
+    && !applied - !last_effective < stop_window
+    && st.detected < 2 * total_paths
+  in
+  let consume waves =
+    incr applied;
+    if mark st waves > 0 then last_effective := !applied
+  in
+  let serial () =
+    while continue_ () do
+      let v1, v2 = draw_pair () in
+      let waves = Wave.simulate cmp ~v1 ~v2 in
+      consume waves
+    done
+  in
+  (* Parallel campaign: two-pattern tests are drawn in blocks, their wave
+     simulations (the dominant cost) fan out across the pool, and the
+     marking pass stays serial in pair order. The serial stopping rule is
+     re-evaluated before each pair is consumed; pairs simulated beyond the
+     stopping point are discarded, so the result — [patterns_applied],
+     [last_effective_pattern], the detected set and the marking budget —
+     is bit-identical to the serial run. *)
+  let parallel pool =
+    let block = Pool.domains pool * 4 in
+    let stop = ref false in
+    while (not !stop) && continue_ () do
+      let m = min block (max_pairs - !applied) in
+      let pairs = Array.make m ([||], [||]) in
+      for j = 0 to m - 1 do
+        pairs.(j) <- draw_pair ()
+      done;
+      let waves =
+        Pool.map pool ~chunk:1 (fun (v1, v2) -> Wave.simulate cmp ~v1 ~v2) pairs
+      in
+      let j = ref 0 in
+      while (not !stop) && !j < m do
+        if continue_ () then begin
+          consume waves.(!j);
+          incr j
+        end
+        else stop := true
+      done
+    done
+  in
+  (try if domains <= 1 then serial () else Pool.with_pool ~domains parallel
    with Budget_exhausted -> ());
   {
     total_paths;

@@ -26,6 +26,7 @@ val run :
   ?max_pairs:int ->
   ?stop_window:int ->
   ?max_marked_paths:int ->
+  ?domains:int ->
   seed:int64 ->
   Circuit.t ->
   result
@@ -33,4 +34,9 @@ val run :
     consecutive pairs detect nothing new, or [max_pairs] (default 2_000_000)
     is reached. [max_marked_paths] (default 50_000_000) bounds total marking
     work. Raises [Failure] if the circuit has more than 100 million path
-    faults. *)
+    faults.
+
+    [domains] (default {!Pool.default_domains}) fans the per-pair wave
+    simulations out over a domain pool in blocks while path marking stays
+    serial in pair order; the result is bit-identical to the serial run,
+    which [domains = 1] selects explicitly. *)

@@ -11,17 +11,58 @@ let pp_result ppf r =
     r.total_faults r.detected r.remaining r.last_effective_pattern
     r.patterns_applied
 
-(* Index (0-based) of the lowest set bit; the mask must be non-zero. *)
-let lowest_bit mask =
-  let rec search i =
-    if Int64.logand (Int64.shift_right_logical mask i) 1L = 1L then i
-    else search (i + 1)
-  in
-  search 0
+(* Index (0-based) of the lowest set bit via the classic de Bruijn multiply:
+   isolate the bit with [x land (-x)], multiply by a de Bruijn sequence and
+   use the top 6 bits as a table index. Constant time, no branches. *)
+let debruijn_table =
+  [|
+    0; 1; 2; 53; 3; 7; 54; 27; 4; 38; 41; 8; 34; 55; 48; 28; 62; 5; 39; 46;
+    44; 42; 22; 9; 24; 35; 59; 56; 49; 18; 29; 11; 63; 52; 6; 26; 37; 40;
+    33; 47; 61; 45; 43; 21; 23; 58; 17; 10; 51; 25; 36; 32; 60; 20; 57; 16;
+    50; 31; 19; 15; 30; 14; 13; 12;
+  |]
 
-let run_internal ?faults ?(max_patterns = 1_000_000) ~seed c =
+let lowest_bit mask =
+  let isolated = Int64.logand mask (Int64.neg mask) in
+  debruijn_table.(Int64.to_int
+                    (Int64.shift_right_logical
+                       (Int64.mul isolated 0x022FDD63CC95386DL)
+                       58))
+
+(* Scan faults [lo, hi) of the current batch on [sim]: kill detected faults
+   in [alive] and return (newly detected, highest 1-based effective pattern,
+   0 if none). The full-batch case skips the mask entirely — the branch on
+   [batch_mask] is hoisted out of the fault loop. *)
+let scan_range ~sim ~fault_list ~(alive : bool array) ~batch_mask ~base lo hi =
+  let fresh = ref 0 in
+  let best = ref 0 in
+  let record i mask =
+    alive.(i) <- false;
+    incr fresh;
+    let patt = base + lowest_bit mask + 1 in
+    if patt > !best then best := patt
+  in
+  if batch_mask = -1L then
+    for i = lo to hi - 1 do
+      if alive.(i) then begin
+        let mask = Fsim.detect sim fault_list.(i) in
+        if mask <> 0L then record i mask
+      end
+    done
+  else
+    for i = lo to hi - 1 do
+      if alive.(i) then begin
+        let mask = Int64.logand (Fsim.detect sim fault_list.(i)) batch_mask in
+        if mask <> 0L then record i mask
+      end
+    done;
+  (!fresh, !best)
+
+let run_internal ?faults ?(max_patterns = 1_000_000) ?domains ~seed c =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
   let cmp = Compiled.of_circuit c in
-  let sim = Fsim.create cmp in
   let fault_list =
     match faults with Some fs -> Array.of_list fs | None -> Array.of_list (Fault.collapsed c)
   in
@@ -32,26 +73,73 @@ let run_internal ?faults ?(max_patterns = 1_000_000) ~seed c =
   let n_pi = Circuit.num_inputs c in
   let last_effective = ref 0 in
   let applied = ref 0 in
-  while !alive_count > 0 && !applied < max_patterns do
-    let batch = min 64 (max_patterns - !applied) in
-    let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
-    Fsim.load_patterns sim words;
-    let batch_mask =
-      if batch = 64 then -1L else Int64.sub (Int64.shift_left 1L batch) 1L
-    in
-    for i = 0 to n_faults - 1 do
-      if alive.(i) then begin
-        let mask = Int64.logand (Fsim.detect sim fault_list.(i)) batch_mask in
-        if mask <> 0L then begin
-          alive.(i) <- false;
-          decr alive_count;
-          let patt = !applied + lowest_bit mask + 1 in
-          if patt > !last_effective then last_effective := patt
-        end
-      end
-    done;
-    applied := !applied + batch
-  done;
+  let serial () =
+    let sim = Fsim.create cmp in
+    while !alive_count > 0 && !applied < max_patterns do
+      let batch = min 64 (max_patterns - !applied) in
+      let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
+      Fsim.load_patterns sim words;
+      let batch_mask =
+        if batch = 64 then -1L else Int64.sub (Int64.shift_left 1L batch) 1L
+      in
+      let fresh, best =
+        scan_range ~sim ~fault_list ~alive ~batch_mask ~base:!applied 0 n_faults
+      in
+      alive_count := !alive_count - fresh;
+      if best > !last_effective then last_effective := best;
+      applied := !applied + batch
+    done
+  in
+  (* Parallel campaign: the fault list is sharded across the pool; every
+     participating domain owns a private [Fsim.t] over the shared read-only
+     [Compiled.t] and re-simulates the fault-free batch once per 64-pattern
+     batch. Detections within a batch are independent, and the merge
+     (sum of fresh detections, max of effective-pattern indices) is
+     commutative, so the result is bit-identical to the serial run. *)
+  let parallel pool =
+    let nslots = Pool.domains pool in
+    let sims = Array.make nslots None in
+    let loaded = Array.make nslots (-1) in
+    let fresh_per_slot = Array.make nslots 0 in
+    let best_per_slot = Array.make nslots 0 in
+    let batch_no = ref 0 in
+    while !alive_count > 0 && !applied < max_patterns do
+      let batch = min 64 (max_patterns - !applied) in
+      let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
+      let batch_mask =
+        if batch = 64 then -1L else Int64.sub (Int64.shift_left 1L batch) 1L
+      in
+      let base = !applied in
+      let bno = !batch_no in
+      Array.fill fresh_per_slot 0 nslots 0;
+      Pool.for_chunks pool ~n:n_faults (fun ~slot ~lo ~hi ->
+          let sim =
+            match sims.(slot) with
+            | Some sim -> sim
+            | None ->
+              let sim = Fsim.create cmp in
+              sims.(slot) <- Some sim;
+              sim
+          in
+          if loaded.(slot) <> bno then begin
+            Fsim.load_patterns sim words;
+            loaded.(slot) <- bno
+          end;
+          let fresh, best =
+            scan_range ~sim ~fault_list ~alive ~batch_mask ~base lo hi
+          in
+          fresh_per_slot.(slot) <- fresh_per_slot.(slot) + fresh;
+          if best > best_per_slot.(slot) then best_per_slot.(slot) <- best);
+      alive_count := !alive_count - Array.fold_left ( + ) 0 fresh_per_slot;
+      Array.iter
+        (fun b -> if b > !last_effective then last_effective := b)
+        best_per_slot;
+      applied := !applied + batch;
+      incr batch_no
+    done
+  in
+  if domains <= 1 || n_faults <= 1 then serial ()
+  else Pool.with_pool ~domains parallel;
   let detected = n_faults - !alive_count in
   ( {
       total_faults = n_faults;
@@ -63,12 +151,12 @@ let run_internal ?faults ?(max_patterns = 1_000_000) ~seed c =
     fault_list,
     alive )
 
-let run ?faults ?max_patterns ~seed c =
-  let r, _, _ = run_internal ?faults ?max_patterns ~seed c in
+let run ?faults ?max_patterns ?domains ~seed c =
+  let r, _, _ = run_internal ?faults ?max_patterns ?domains ~seed c in
   r
 
-let undetected ?faults ?max_patterns ~seed c =
-  let _, fault_list, alive = run_internal ?faults ?max_patterns ~seed c in
+let undetected ?faults ?max_patterns ?domains ~seed c =
+  let _, fault_list, alive = run_internal ?faults ?max_patterns ?domains ~seed c in
   let acc = ref [] in
   for i = Array.length fault_list - 1 downto 0 do
     if alive.(i) then acc := fault_list.(i) :: !acc

@@ -12,9 +12,14 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
+val lowest_bit : int64 -> int
+(** 0-based index of the lowest set bit (constant-time de Bruijn lookup);
+    the argument must be non-zero. Exposed for testing. *)
+
 val run :
   ?faults:Fault.t list ->
   ?max_patterns:int ->
+  ?domains:int ->
   seed:int64 ->
   Circuit.t ->
   result
@@ -22,11 +27,17 @@ val run :
     detected or [max_patterns] (default 1_000_000) is exhausted. The fault
     list defaults to {!Fault.collapsed}. Detected faults are dropped from
     simulation. Patterns inside a batch count as sequential, so
-    [last_effective_pattern] is exact. *)
+    [last_effective_pattern] is exact.
+
+    [domains] (default {!Pool.default_domains}) shards the fault list
+    across a domain pool, each worker simulating with a private {!Fsim.t}
+    over the shared compiled circuit; the result is bit-identical to the
+    serial run, which [domains = 1] selects explicitly. *)
 
 val undetected :
   ?faults:Fault.t list ->
   ?max_patterns:int ->
+  ?domains:int ->
   seed:int64 ->
   Circuit.t ->
   Fault.t list

@@ -63,6 +63,12 @@ type t = {
 
 let create cmp =
   let n = Compiled.size cmp in
+  (* The event heap encodes (topo_pos, id) as [topo_pos * n + id], so the
+     largest encoding is about [n * n]; reject circuits where that would
+     overflow the native int range instead of silently corrupting the
+     ordering. *)
+  if n > 0 && n > max_int / n then
+    invalid_arg "Fsim.create: circuit too large for heap encoding";
   {
     cmp;
     good = Array.make n 0L;
@@ -106,7 +112,8 @@ let eval_gate st ~fault_gate ~fault_pin ~forced id =
   let fins = Compiled.fanins st.cmp id in
   let n = Array.length fins in
   let pin_value i = if id = fault_gate && i = fault_pin then forced else value st fins.(i) in
-  match Compiled.kind st.cmp id with
+  let kind = Compiled.kind st.cmp id in
+  match kind with
   | Gate.Input -> value st id
   | Gate.Const0 -> 0L
   | Gate.Const1 -> -1L
@@ -117,19 +124,19 @@ let eval_gate st ~fault_gate ~fault_pin ~forced id =
     for i = 0 to n - 1 do
       acc := Int64.logand !acc (pin_value i)
     done;
-    if Compiled.kind st.cmp id = Gate.Nand then Int64.lognot !acc else !acc
+    if kind = Gate.Nand then Int64.lognot !acc else !acc
   | Gate.Or | Gate.Nor ->
     let acc = ref 0L in
     for i = 0 to n - 1 do
       acc := Int64.logor !acc (pin_value i)
     done;
-    if Compiled.kind st.cmp id = Gate.Nor then Int64.lognot !acc else !acc
+    if kind = Gate.Nor then Int64.lognot !acc else !acc
   | Gate.Xor | Gate.Xnor ->
     let acc = ref 0L in
     for i = 0 to n - 1 do
       acc := Int64.logxor !acc (pin_value i)
     done;
-    if Compiled.kind st.cmp id = Gate.Xnor then Int64.lognot !acc else !acc
+    if kind = Gate.Xnor then Int64.lognot !acc else !acc
 
 let reset st =
   List.iter (fun id -> Bytes.set st.touched id '\000') st.touched_list;

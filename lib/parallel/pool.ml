@@ -1,0 +1,180 @@
+(* Domain pool with chunked work stealing from a shared atomic counter.
+
+   One job is in flight at a time (submissions come from a single
+   orchestrating domain). Workers park on a condition variable between
+   jobs; a job is published by bumping [generation] under the pool mutex,
+   which also gives the happens-before edge that publishes the caller's
+   writes (input arrays, closures) to the workers. Completion is detected
+   by an atomic count of unfinished chunks; the final decrement signals
+   the job's own condition variable, which publishes the workers' writes
+   (result slots) back to the caller. *)
+
+type job = {
+  body : int -> int -> int -> unit; (* slot lo hi *)
+  n : int;
+  chunk : int;
+  nchunks : int;
+  next : int Atomic.t;
+  pending : int Atomic.t; (* chunks not yet completed *)
+  mutable error : (exn * Printexc.raw_backtrace) option;
+  jm : Mutex.t;
+  jdone : Condition.t;
+}
+
+type t = {
+  n_domains : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable stopped : bool;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run_chunks j slot =
+  let continue_ = ref true in
+  while !continue_ do
+    let c = Atomic.fetch_and_add j.next 1 in
+    if c >= j.nchunks then continue_ := false
+    else begin
+      let lo = c * j.chunk in
+      let hi = min j.n (lo + j.chunk) in
+      (* Once a chunk failed, later chunks are skipped (their results would
+         be discarded anyway); the unsynchronised read may miss a fresh
+         error and run one extra chunk, which is harmless. *)
+      (if j.error = None then
+         try j.body slot lo hi
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock j.jm;
+           if j.error = None then j.error <- Some (e, bt);
+           Mutex.unlock j.jm);
+      if Atomic.fetch_and_add j.pending (-1) = 1 then begin
+        Mutex.lock j.jm;
+        Condition.broadcast j.jdone;
+        Mutex.unlock j.jm
+      end
+    end
+  done
+
+let rec worker_loop t slot seen =
+  Mutex.lock t.m;
+  while (not t.stopped) && t.generation = seen do
+    Condition.wait t.work_ready t.m
+  done;
+  let stop = t.stopped in
+  let gen = t.generation in
+  let job = t.job in
+  Mutex.unlock t.m;
+  if not stop then begin
+    (* [job] can be [None] if the other participants already drained it and
+       the caller moved on; just wait for the next generation. *)
+    (match job with Some j -> run_chunks j slot | None -> ());
+    worker_loop t slot gen
+  end
+
+let create ?domains () =
+  let n_domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let t =
+    {
+      n_domains;
+      workers = [||];
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      job = None;
+      generation = 0;
+      stopped = false;
+    }
+  in
+  if n_domains > 1 then
+    t.workers <-
+      Array.init (n_domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+  t
+
+let domains t = t.n_domains
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopped <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let for_chunks t ?chunk ~n body =
+  if n < 0 then invalid_arg "Pool.for_chunks: negative range";
+  if n > 0 then
+    if t.n_domains <= 1 || n = 1 then body ~slot:0 ~lo:0 ~hi:n
+    else begin
+      let chunk =
+        match chunk with
+        | Some c when c > 0 -> c
+        | Some _ -> invalid_arg "Pool.for_chunks: chunk must be positive"
+        | None -> max 1 ((n + (t.n_domains * 4) - 1) / (t.n_domains * 4))
+      in
+      let nchunks = (n + chunk - 1) / chunk in
+      let j =
+        {
+          body = (fun slot lo hi -> body ~slot ~lo ~hi);
+          n;
+          chunk;
+          nchunks;
+          next = Atomic.make 0;
+          pending = Atomic.make nchunks;
+          error = None;
+          jm = Mutex.create ();
+          jdone = Condition.create ();
+        }
+      in
+      Mutex.lock t.m;
+      t.job <- Some j;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.m;
+      run_chunks j 0;
+      Mutex.lock j.jm;
+      while Atomic.get j.pending > 0 do
+        Condition.wait j.jdone j.jm
+      done;
+      Mutex.unlock j.jm;
+      Mutex.lock t.m;
+      t.job <- None;
+      Mutex.unlock t.m;
+      match j.error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let map_chunks t ?chunk ~state ~f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    (* Each slot only ever touches its own entry, so no locking. *)
+    let states = Array.make t.n_domains None in
+    for_chunks t ?chunk ~n (fun ~slot ~lo ~hi ->
+        let st =
+          match states.(slot) with
+          | Some st -> st
+          | None ->
+            let st = state slot in
+            states.(slot) <- Some st;
+            st
+        in
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f st i arr.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map t ?chunk f arr =
+  map_chunks t ?chunk ~state:(fun _ -> ()) ~f:(fun () _ x -> f x) arr

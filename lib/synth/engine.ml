@@ -14,6 +14,7 @@ type options = {
   use_dontcares : bool;
   dc_backtracks : int;
   max_units : int;
+  domains : int;
 }
 
 let default_options =
@@ -29,6 +30,7 @@ let default_options =
     use_dontcares = false;
     dc_backtracks = 200;
     max_units = 1;
+    domains = Pool.default_domains ();
   }
 
 type stats = {
@@ -108,18 +110,53 @@ let realise opts rng ~sim_batches ~cmp0 c sub tt =
     | Some r -> Some r
     | None -> with_multi ())
 
-let score_candidates opts rng ~sim_batches ~cmp0 labels c root =
-  let subs = Subcircuit.enumerate ~k:opts.k ~max_candidates:opts.max_candidates c root in
-  List.filter_map
-    (fun sub ->
-      let tt = Subcircuit.extract c sub in
-      match realise opts rng ~sim_batches ~cmp0 c sub tt with
-      | None -> None
-      | Some (built, exact) ->
-        let gain = Subcircuit.removable_cost c sub - built.Comparison_unit.gates2 in
-        let new_paths = replaced_path_label labels sub built in
-        Some { sub; built; gain; new_paths; exact })
-    subs
+(* Candidate evaluations must not share a mutable random stream when they
+   run concurrently, so each candidate derives its own generator from the
+   engine seed, the root and its enumeration index (splitmix64 finaliser).
+   The serial path uses the same derivation, keeping [domains = 1] and
+   [domains = n] runs identical. *)
+let candidate_seed base root idx =
+  let z =
+    Int64.add
+      (Int64.logxor base (Int64.mul (Int64.of_int root) 0x9E3779B97F4A7C15L))
+      (Int64.of_int idx)
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Enumeration stays serial; [realise] / truth-table extraction fan out
+   across the pool. Results come back in enumeration order (deterministic
+   ordered merge), so the fold over [better] below sees candidates in the
+   same order as a serial run and tie-breaks identically. *)
+let score_candidates ?pool opts ~sim_batches ~cmp0 labels c root =
+  let subs =
+    Array.of_list
+      (Subcircuit.enumerate ~k:opts.k ~max_candidates:opts.max_candidates c root)
+  in
+  let eval idx sub =
+    let rng = Rng.create (candidate_seed opts.seed root idx) in
+    let tt = Subcircuit.extract c sub in
+    match realise opts rng ~sim_batches ~cmp0 c sub tt with
+    | None -> None
+    | Some (built, exact) ->
+      let gain = Subcircuit.removable_cost c sub - built.Comparison_unit.gates2 in
+      let new_paths = replaced_path_label labels sub built in
+      Some { sub; built; gain; new_paths; exact }
+  in
+  let scored =
+    match pool with
+    | Some pool when Array.length subs > 1 ->
+      (* Workers read the circuit concurrently; materialise the lazy
+         fanout cache up front so they never race to build it. *)
+      ignore (Circuit.fanouts c root);
+      Pool.map_chunks pool ~chunk:1
+        ~state:(fun _ -> ())
+        ~f:(fun () idx sub -> eval idx sub)
+        subs
+    | _ -> Array.mapi eval subs
+  in
+  List.filter_map Fun.id (Array.to_list scored)
 
 (* Strictly-better-than ordering for the two objectives. [current_paths] is
    the Procedure-1 label on the root before replacement. *)
@@ -143,7 +180,7 @@ let is_gate c id =
   | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
   | Gate.Xnor -> true
 
-let run_pass objective opts rng c =
+let run_pass ?pool objective opts c =
   let labels = Paths.labels c in
   let marked = Array.make (Circuit.size c) false in
   Array.iter (fun o -> if is_gate c o then marked.(o) <- true) (Circuit.outputs c);
@@ -175,7 +212,7 @@ let run_pass objective opts rng c =
             if better objective ~current_paths:labels.(g) cand best then Some cand
             else best)
           None
-          (score_candidates opts rng ~sim_batches ~cmp0 labels c g)
+          (score_candidates ?pool opts ~sim_batches ~cmp0 labels c g)
       in
       match chosen with
       | Some cand ->
@@ -197,8 +234,7 @@ let run_pass objective opts rng c =
   done;
   !replacements
 
-let optimize objective opts c =
-  let rng = Rng.create opts.seed in
+let optimize_with ?pool objective opts c =
   let reference = if opts.verify_global then Some (Circuit.copy c) else None in
   let gates_before = Circuit.two_input_gate_count c in
   let paths_before = Paths.total c in
@@ -207,7 +243,7 @@ let optimize objective opts c =
   let continue = ref true in
   while !continue && !passes < opts.max_passes do
     incr passes;
-    let r = run_pass objective opts rng c in
+    let r = run_pass ?pool objective opts c in
     replacements := !replacements + r;
     (match reference with
     | Some reference ->
@@ -224,3 +260,9 @@ let optimize objective opts c =
     paths_before;
     paths_after = Paths.total c;
   }
+
+let optimize objective opts c =
+  if opts.domains <= 1 then optimize_with objective opts c
+  else
+    Pool.with_pool ~domains:opts.domains (fun pool ->
+        optimize_with ~pool objective opts c)

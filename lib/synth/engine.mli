@@ -30,11 +30,18 @@ type options = {
   max_units : int;
       (** paper Sec. 6, issue 2: cover a subfunction with up to this many
           comparison units sharing a permutation (1 = single units only). *)
+  domains : int;
+      (** domain-pool width for concurrent candidate evaluation
+          (enumeration and splicing stay serial). [1] forces the serial
+          path; results are identical for every value because candidates
+          are scored with per-candidate derived seeds and merged back in
+          enumeration order. *)
 }
 
 val default_options : options
 (** K = 6, 64 candidates, exact identification, merging, local verification
-    on, global verification off, at most 16 passes, seed 1, extensions off. *)
+    on, global verification off, at most 16 passes, seed 1, extensions off,
+    [domains = Pool.default_domains ()]. *)
 
 type stats = {
   passes : int;

@@ -23,4 +23,6 @@ let () =
       ("integration", Test_integration.suite);
       ("more", Test_more.suite);
       Helpers.qsuite "extension-properties" Test_extensions.qchecks;
+      ("parallel", Test_parallel.suite);
+      Helpers.qsuite "parallel-properties" Test_parallel.qchecks;
     ]
