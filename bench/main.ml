@@ -7,9 +7,15 @@
                     table4,table5,table6,table7,ablations,micro
      --json FILE    write a machine-readable BENCH_results.json snapshot
                     (per-section wall clock, circuit sizes, parallel
-                    speedups; schema in DESIGN.md "Parallel execution")
-     --domains N    domain budget for the parallel kernels (default
-                    Pool.default_domains (), i.e. recommended - 1)
+                    speedups and the observability registry; schema in
+                    DESIGN.md "Parallel execution" and §9)
+     --domains N    domain budget for the parallel kernels (0 or omitted
+                    picks Pool.default_domains (), i.e. recommended - 1;
+                    resolved by Pool.domains_of_flag like the CLI flag)
+     --metrics SINK observability export: "text" prints a readable dump,
+                    "json" prints the JSON document, anything else is a
+                    file path receiving the JSON (see DESIGN.md §9)
+     --trace        print the span trace tree when the run finishes
    Every table prints our measured rows next to the paper's published rows;
    absolute numbers differ (synthetic stand-in circuits, scaled budgets) but
    the qualitative shape is the claim under test. EXPERIMENTS.md records a
@@ -19,6 +25,8 @@ let quick = ref false
 let only : string list ref = ref []
 let json_file : string option ref = ref None
 let domains = ref (Pool.default_domains ())
+let metrics : string option ref = ref None
+let trace = ref false
 
 let () =
   let rec parse = function
@@ -35,9 +43,15 @@ let () =
     | "--json" :: file :: rest ->
       json_file := Some file;
       parse rest
+    | "--metrics" :: sink :: rest ->
+      metrics := Some sink;
+      parse rest
+    | "--trace" :: rest ->
+      trace := true;
+      parse rest
     | "--domains" :: n :: rest ->
       (match int_of_string_opt n with
-      | Some n -> domains := max 1 n
+      | Some n -> domains := Pool.domains_of_flag n
       | None ->
         Printf.eprintf "error: --domains expects an integer, got %s\n" n;
         exit 2);
@@ -47,11 +61,14 @@ let () =
       Printf.eprintf
         "error: unknown argument %s\n\
          usage: main.exe [--quick|--full] [--only IDS] [--json FILE] \
-         [--domains N]\n"
+         [--domains N] [--metrics text|json|FILE] [--trace]\n"
         other;
       exit 2
   in
-  parse (List.tl (Array.to_list Sys.argv))
+  parse (List.tl (Array.to_list Sys.argv));
+  (* The JSON snapshot always embeds the observability registry, so collect
+     whenever any sink wants it. *)
+  if !metrics <> None || !trace || !json_file <> None then Obs.enable ()
 
 let enabled id = !only = [] || List.mem id !only
 
@@ -97,7 +114,7 @@ let section id title f =
     Printf.printf "\n################ %s — %s\n%!" id title;
     let t0 = now () in
     let w0 = wall () in
-    f ();
+    Obs.Span.with_ ("bench." ^ id) f;
     json_sections := (id, title, wall () -. w0) :: !json_sections;
     Printf.printf "[%s done in %.1fs cpu]\n%!" id (now () -. t0)
   end
@@ -491,8 +508,9 @@ let table6 () =
   List.iter
     (fun e ->
       let name = e.Benchmarks.name in
-      let r0 = Campaign.run ~max_patterns:budget ~seed:101L (original e) in
-      let r1 = Campaign.run ~max_patterns:budget ~seed:101L (proc2_redrem e) in
+      let cfg = { Campaign.default with max_patterns = budget; seed = 101L } in
+      let r0 = Campaign.exec cfg (original e) in
+      let r1 = Campaign.exec cfg (proc2_redrem e) in
       Table.add_row t
         [
           name; "ours";
@@ -528,7 +546,11 @@ let table7 () =
     Table.create ~title:"Table 7 — robust PDF detection by random patterns, irs13207"
       ~columns:[ "base"; "which"; "eff"; "det/faults (base)"; "det/faults (after P2)" ]
   in
-  let run c = Pdf_campaign.run ~max_pairs ~stop_window:window ~seed:77L c in
+  let run c =
+    Pdf_campaign.exec
+      { Pdf_campaign.default with max_pairs; stop_window = window; seed = 77L }
+      c
+  in
   let fmt r =
     Printf.sprintf "%s/%s"
       (Table.int r.Pdf_campaign.detected)
@@ -798,12 +820,9 @@ and parallel_speedups () =
   in
   record_circuit "micro-par" par_circuit;
   let budget = if !quick then 2_048 else 16_384 in
-  let r1, t1 =
-    time_wall (fun () -> Campaign.run ~max_patterns:budget ~domains:1 ~seed:7L par_circuit)
-  in
-  let rn, tn =
-    time_wall (fun () -> Campaign.run ~max_patterns:budget ~domains:nd ~seed:7L par_circuit)
-  in
+  let fsim_cfg d = { Campaign.default with max_patterns = budget; domains = d; seed = 7L } in
+  let r1, t1 = time_wall (fun () -> Campaign.exec (fsim_cfg 1) par_circuit) in
+  let rn, tn = time_wall (fun () -> Campaign.exec (fsim_cfg nd) par_circuit) in
   report
     {
       sp_kernel = "fault_sim_campaign";
@@ -829,14 +848,11 @@ and parallel_speedups () =
   in
   record_circuit "micro" small;
   let pairs = if !quick then 2_000 else 20_000 in
-  let p1, tp1 =
-    time_wall (fun () ->
-        Pdf_campaign.run ~max_pairs:pairs ~stop_window:pairs ~domains:1 ~seed:77L small)
+  let pdf_cfg d =
+    { Pdf_campaign.default with max_pairs = pairs; stop_window = pairs; domains = d; seed = 77L }
   in
-  let pn, tpn =
-    time_wall (fun () ->
-        Pdf_campaign.run ~max_pairs:pairs ~stop_window:pairs ~domains:nd ~seed:77L small)
-  in
+  let p1, tp1 = time_wall (fun () -> Pdf_campaign.exec (pdf_cfg 1) small) in
+  let pn, tpn = time_wall (fun () -> Pdf_campaign.exec (pdf_cfg nd) small) in
   report
     {
       sp_kernel = "pdf_campaign";
@@ -933,7 +949,10 @@ let write_json file =
            (if r.sp_parallel > 0. then r.sp_serial /. r.sp_parallel else 0.)
            r.sp_identical))
     (List.rev !json_speedups);
-  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.add_string b "\n  ],\n";
+  (* The observability registry (counters, histograms, span trace) rides
+     along in the snapshot; schema in DESIGN.md §9. *)
+  Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n}\n" (Obs.Export.to_json ()));
   let oc = open_out file in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -951,10 +970,16 @@ let () =
   section "table7" "robust PDF random-pattern campaigns" table7;
   section "ablations" "design-choice ablations" ablations;
   section "micro" "Bechamel micro-benchmarks" micro;
-  match !json_file with
+  (match !json_file with
   | None -> ()
   | Some file -> (
     try write_json file
     with Sys_error msg ->
       Printf.eprintf "error: could not write %s: %s\n" file msg;
-      exit 1)
+      exit 1));
+  if !trace then prerr_string (Obs.Export.trace_text ());
+  match !metrics with
+  | None -> ()
+  | Some "text" -> print_string (Obs.Export.to_text ())
+  | Some "json" -> print_endline (Obs.Export.to_json ())
+  | Some path -> Obs.Export.write_file path

@@ -1,19 +1,41 @@
 (* sft — command-line front end for the synthesis-for-testability library.
 
-   Circuits are read from ISCAS-style .bench files, or taken from the
-   built-in benchmark registry with --bench NAME. *)
+   Circuits are read from ISCAS-style .bench files ("-" reads stdin), or
+   taken from the built-in benchmark registry with --bench NAME.
+
+   Every subcommand accepts --metrics [text|json|FILE] and --trace
+   (observability, see Obs and DESIGN.md §9). With --metrics json the
+   metrics document owns stdout and all human-readable output moves to
+   stderr, so `sft fsim --metrics json -` composes in a pipe. *)
 
 open Cmdliner
 
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("sft: " ^ msg);
+      exit 1)
+    fmt
+
 let load ~file ~bench =
   match (file, bench) with
-  | Some f, None -> Bench_format.read_file f
+  | Some "-", None -> (
+    match Bench_format.parse ~name:"stdin" (In_channel.input_all In_channel.stdin) with
+    | Ok c -> c
+    | Error e -> die "stdin: %s" (Bench_format.error_to_string e))
+  | Some f, None -> (
+    match Bench_format.parse_file f with
+    | Ok c -> c
+    | Error e -> die "%s: %s" f (Bench_format.error_to_string e))
   | None, Some b -> Benchmarks.build (Benchmarks.find b)
-  | Some _, Some _ -> failwith "give either FILE or --bench, not both"
-  | None, None -> failwith "give a .bench FILE or --bench NAME"
+  | Some _, Some _ -> die "give either FILE or --bench, not both"
+  | None, None -> die "give a .bench FILE or --bench NAME"
 
 let file_arg =
-  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input .bench netlist.")
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Input .bench netlist ($(b,-) reads standard input).")
 
 let bench_arg =
   Arg.(
@@ -37,22 +59,70 @@ let domains_arg =
     & info [ "domains" ] ~docv:"N"
         ~doc:
           "Computation domains for parallel execution: 0 picks the \
-           recommended domain count minus one, 1 forces the serial path. \
-           Results are identical for every value.")
+           recommended domain count, 1 forces the serial path. Results are \
+           identical for every value.")
 
-let resolve_domains d = if d <= 0 then Pool.default_domains () else d
+(* --- observability plumbing ---------------------------------------------- *)
 
-let save output c =
+type metrics =
+  | MNone
+  | MText
+  | MJson
+  | MFile of string
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"SINK"
+        ~doc:
+          "Collect observability metrics and emit them when the command \
+           finishes: $(b,text) prints a readable dump, $(b,json) prints the \
+           JSON document on stdout (human output moves to stderr), anything \
+           else is a file path that receives the JSON.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Collect span timings and print the trace tree to stderr.")
+
+(* [with_obs metrics trace body] runs [body ppf] with observability enabled
+   as requested and exports the registry afterwards (also on failure, so an
+   interrupted run still reports what it measured). [ppf] is where the
+   command's human-readable output goes: stderr when stdout carries JSON. *)
+let with_obs metrics trace body =
+  let metrics =
+    match metrics with
+    | None -> MNone
+    | Some "text" -> MText
+    | Some "json" -> MJson
+    | Some path -> MFile path
+  in
+  if metrics <> MNone || trace then Obs.enable ();
+  let ppf = if metrics = MJson then Format.err_formatter else Format.std_formatter in
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush ppf ();
+      if trace then prerr_string (Obs.Export.trace_text ());
+      match metrics with
+      | MNone -> ()
+      | MText -> print_string (Obs.Export.to_text ())
+      | MJson -> print_endline (Obs.Export.to_json ())
+      | MFile path -> Obs.Export.write_file path)
+    (fun () -> body ppf)
+
+let save ppf output c =
   match output with
   | Some path ->
     Bench_format.write_file path c;
-    Printf.printf "wrote %s\n" path
+    Format.fprintf ppf "wrote %s@." path
   | None -> ()
 
-let print_stats c =
+let print_stats ppf c =
   let paths = try Table.int (Paths.total c) with Paths.Overflow -> "overflow" in
-  Printf.printf
-    "%s: inputs %d, outputs %d, gates %d (eq. 2-input %d), paths %s, depth %d (logic %d)\n"
+  Format.fprintf ppf
+    "%s: inputs %d, outputs %d, gates %d (eq. 2-input %d), paths %s, depth %d (logic %d)@."
     (Circuit.name c) (Circuit.num_inputs c) (Circuit.num_outputs c)
     (Circuit.num_gates c)
     (Circuit.two_input_gate_count c)
@@ -61,12 +131,13 @@ let print_stats c =
 (* --- stats ---------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run file bench =
-    let c = load ~file ~bench in
-    print_stats c
+  let run file bench metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        print_stats ppf c)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics (Procedure 1 path count included).")
-    Term.(const run $ file_arg $ bench_arg)
+    Term.(const run $ file_arg $ bench_arg $ metrics_arg $ trace_arg)
 
 (* --- list ----------------------------------------------------------------- *)
 
@@ -95,13 +166,14 @@ let list_cmd =
 (* --- gen ------------------------------------------------------------------ *)
 
 let gen_cmd =
-  let run name raw output =
-    let e = Benchmarks.find name in
-    let c =
-      if raw then Circuit_gen.generate e.Benchmarks.profile else Benchmarks.build e
-    in
-    print_stats c;
-    save output c
+  let run name raw output metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let e = Benchmarks.find name in
+        let c =
+          if raw then Circuit_gen.generate e.Benchmarks.profile else Benchmarks.build e
+        in
+        print_stats ppf c;
+        save ppf output c)
   in
   let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
   let raw =
@@ -109,42 +181,43 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a benchmark stand-in and optionally write it out.")
-    Term.(const run $ name_arg $ raw $ output_arg)
+    Term.(const run $ name_arg $ raw $ output_arg $ metrics_arg $ trace_arg)
 
 (* --- optimize ------------------------------------------------------------- *)
 
 let optimize_cmd =
   let run file bench objective k engine budget no_merge verify dontcares units
-      domains output =
-    let c = load ~file ~bench in
-    let objective =
-      match objective with
-      | "gates" -> Engine.Gates
-      | "paths" -> Engine.Paths
-      | other -> failwith (Printf.sprintf "unknown objective %S" other)
-    in
-    let engine =
-      match engine with
-      | "exact" -> Comparison_fn.Exact
-      | "sampled" -> Comparison_fn.Sampled budget
-      | other -> failwith (Printf.sprintf "unknown engine %S" other)
-    in
-    let options =
-      {
-        Engine.default_options with
-        Engine.k;
-        engine;
-        merge = not no_merge;
-        verify_global = verify;
-        use_dontcares = dontcares;
-        max_units = units;
-        domains = resolve_domains domains;
-      }
-    in
-    let stats = Engine.optimize objective options c in
-    Format.printf "%a@." Engine.pp_stats stats;
-    print_stats c;
-    save output c
+      domains output metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        let objective =
+          match objective with
+          | "gates" -> Engine.Gates
+          | "paths" -> Engine.Paths
+          | other -> die "unknown objective %S" other
+        in
+        let engine =
+          match engine with
+          | "exact" -> Comparison_fn.Exact
+          | "sampled" -> Comparison_fn.Sampled budget
+          | other -> die "unknown engine %S" other
+        in
+        let options =
+          {
+            Engine.default_options with
+            Engine.k;
+            engine;
+            merge = not no_merge;
+            verify_global = verify;
+            use_dontcares = dontcares;
+            max_units = units;
+            domains;
+          }
+        in
+        let stats = Engine.optimize objective options c in
+        Format.fprintf ppf "%a@." Engine.pp_stats stats;
+        print_stats ppf c;
+        save ppf output c)
   in
   let objective =
     Arg.(
@@ -182,81 +255,102 @@ let optimize_cmd =
        ~doc:"Resynthesise with comparison units (Procedures 2 and 3 of the paper).")
     Term.(
       const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
-      $ verify $ dontcares $ units $ domains_arg $ output_arg)
+      $ verify $ dontcares $ units $ domains_arg $ output_arg $ metrics_arg $ trace_arg)
 
 (* --- rar ------------------------------------------------------------------ *)
 
 let rar_cmd =
-  let run file bench additions trials seed output =
-    let c = load ~file ~bench in
-    let options = { Rar.default_options with Rar.max_additions = additions; max_trials = trials; seed } in
-    let stats = Rar.optimize ~options c in
-    Format.printf "%a@." Rar.pp_stats stats;
-    print_stats c;
-    save output c
+  let run file bench additions trials seed output metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        let options =
+          { Rar.default_options with Rar.max_additions = additions; max_trials = trials; seed }
+        in
+        let stats = Rar.optimize ~options c in
+        Format.fprintf ppf "%a@." Rar.pp_stats stats;
+        print_stats ppf c;
+        save ppf output c)
   in
   let additions = Arg.(value & opt int 40 & info [ "additions" ] ~doc:"Accepted-addition budget.") in
   let trials = Arg.(value & opt int 400 & info [ "trials" ] ~doc:"Proof attempts per round.") in
   Cmd.v
     (Cmd.info "rar" ~doc:"Redundancy-addition-and-removal baseline (RAMBO_C stand-in).")
-    Term.(const run $ file_arg $ bench_arg $ additions $ trials $ seed_arg $ output_arg)
+    Term.(
+      const run $ file_arg $ bench_arg $ additions $ trials $ seed_arg $ output_arg
+      $ metrics_arg $ trace_arg)
 
 (* --- redundancy ------------------------------------------------------------ *)
 
 let redundancy_cmd =
-  let run file bench seed output =
-    let c = load ~file ~bench in
-    let report = Redundancy.remove ~seed c in
-    Format.printf "%a@." Redundancy.pp_report report;
-    print_stats c;
-    save output c
+  let run file bench seed output metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        let report = Redundancy.remove ~seed c in
+        Format.fprintf ppf "%a@." Redundancy.pp_report report;
+        print_stats ppf c;
+        save ppf output c)
   in
   Cmd.v
     (Cmd.info "redundancy" ~doc:"Remove stuck-at redundancies (the paper's [15] step).")
-    Term.(const run $ file_arg $ bench_arg $ seed_arg $ output_arg)
+    Term.(
+      const run $ file_arg $ bench_arg $ seed_arg $ output_arg $ metrics_arg $ trace_arg)
 
 (* --- fsim ------------------------------------------------------------------ *)
 
 let fsim_cmd =
-  let run file bench patterns domains seed =
-    let c = load ~file ~bench in
-    let r =
-      Campaign.run ~max_patterns:patterns ~domains:(resolve_domains domains) ~seed c
-    in
-    Format.printf "%a@." Campaign.pp_result r
+  let run file bench patterns domains seed metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        let r =
+          Campaign.exec
+            { Campaign.default with max_patterns = patterns; domains; seed }
+            c
+        in
+        Format.fprintf ppf "%a@." Campaign.pp_result r)
   in
   let patterns =
     Arg.(value & opt int 100_000 & info [ "patterns" ] ~doc:"Random pattern budget.")
   in
   Cmd.v
     (Cmd.info "fsim" ~doc:"Random-pattern stuck-at fault simulation campaign (Table 6).")
-    Term.(const run $ file_arg $ bench_arg $ patterns $ domains_arg $ seed_arg)
+    Term.(
+      const run $ file_arg $ bench_arg $ patterns $ domains_arg $ seed_arg
+      $ metrics_arg $ trace_arg)
 
 (* --- atpg ------------------------------------------------------------------ *)
 
 let atpg_cmd =
-  let run file bench limit =
-    let c = load ~file ~bench in
-    let faults = Fault.collapsed c in
-    let stats = Podem.generate_all ~backtrack_limit:limit c faults in
-    Printf.printf "faults %d: tested %d, untestable %d, aborted %d\n"
-      (List.length faults) stats.Podem.tested stats.Podem.untestable
-      stats.Podem.aborted
+  let run file bench limit metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        let faults = Fault.collapsed c in
+        let stats = Podem.generate_all ~backtrack_limit:limit c faults in
+        Format.fprintf ppf "faults %d: tested %d, untestable %d, aborted %d@."
+          (List.length faults) stats.Podem.tested stats.Podem.untestable
+          stats.Podem.aborted)
   in
   let limit = Arg.(value & opt int 1000 & info [ "backtracks" ] ~doc:"PODEM backtrack limit.") in
   Cmd.v (Cmd.info "atpg" ~doc:"Run PODEM on every collapsed stuck-at fault.")
-    Term.(const run $ file_arg $ bench_arg $ limit)
+    Term.(const run $ file_arg $ bench_arg $ limit $ metrics_arg $ trace_arg)
 
 (* --- pdf ------------------------------------------------------------------ *)
 
 let pdf_cmd =
-  let run file bench pairs window domains seed =
-    let c = load ~file ~bench in
-    let r =
-      Pdf_campaign.run ~max_pairs:pairs ~stop_window:window
-        ~domains:(resolve_domains domains) ~seed c
-    in
-    Format.printf "%a@." Pdf_campaign.pp_result r
+  let run file bench pairs window domains seed metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        let r =
+          Pdf_campaign.exec
+            {
+              Pdf_campaign.default with
+              max_pairs = pairs;
+              stop_window = window;
+              domains;
+              seed;
+            }
+            c
+        in
+        Format.fprintf ppf "%a@." Pdf_campaign.pp_result r)
   in
   let pairs = Arg.(value & opt int 200_000 & info [ "pairs" ] ~doc:"Two-pattern test budget.") in
   let window =
@@ -265,19 +359,22 @@ let pdf_cmd =
   Cmd.v
     (Cmd.info "pdf"
        ~doc:"Random-pattern robust path-delay-fault campaign (Table 7).")
-    Term.(const run $ file_arg $ bench_arg $ pairs $ window $ domains_arg $ seed_arg)
+    Term.(
+      const run $ file_arg $ bench_arg $ pairs $ window $ domains_arg $ seed_arg
+      $ metrics_arg $ trace_arg)
 
 (* --- map ------------------------------------------------------------------ *)
 
 let map_cmd =
-  let run file bench =
-    let c = load ~file ~bench in
-    let r = Mapper.map c in
-    Printf.printf "%s: literals %d, longest path %d cells, cells used %d\n"
-      (Circuit.name c) r.Mapper.literals r.Mapper.longest r.Mapper.cells_used
+  let run file bench metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        let r = Mapper.map c in
+        Format.fprintf ppf "%s: literals %d, longest path %d cells, cells used %d@."
+          (Circuit.name c) r.Mapper.literals r.Mapper.longest r.Mapper.cells_used)
   in
   Cmd.v (Cmd.info "map" ~doc:"Technology-map the circuit and report literals/depth (Table 4).")
-    Term.(const run $ file_arg $ bench_arg)
+    Term.(const run $ file_arg $ bench_arg $ metrics_arg $ trace_arg)
 
 (* --- identify --------------------------------------------------------------- *)
 
@@ -311,19 +408,20 @@ let identify_cmd =
 (* --- sop ------------------------------------------------------------------- *)
 
 let sop_cmd =
-  let run n minterms output =
-    let ms =
-      String.split_on_char ',' minterms
-      |> List.filter (fun s -> String.trim s <> "")
-      |> List.map (fun s -> int_of_string (String.trim s))
-    in
-    let f = Truthtable.of_minterms n ms in
-    let cover = Sop.minimise f in
-    Printf.printf "%d cubes, %d literals:\n" (List.length cover) (Sop.literals cover);
-    List.iter (fun cube -> Format.printf "  %a@." (Sop.pp_cube ~n) cube) cover;
-    let c = Sop.to_circuit n cover in
-    print_stats c;
-    save output c
+  let run n minterms output metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let ms =
+          String.split_on_char ',' minterms
+          |> List.filter (fun s -> String.trim s <> "")
+          |> List.map (fun s -> int_of_string (String.trim s))
+        in
+        let f = Truthtable.of_minterms n ms in
+        let cover = Sop.minimise f in
+        Format.fprintf ppf "%d cubes, %d literals:@." (List.length cover) (Sop.literals cover);
+        List.iter (fun cube -> Format.fprintf ppf "  %a@." (Sop.pp_cube ~n) cube) cover;
+        let c = Sop.to_circuit n cover in
+        print_stats ppf c;
+        save ppf output c)
   in
   let n = Arg.(required & opt (some int) None & info [ "n" ] ~doc:"Number of variables.") in
   let minterms =
@@ -334,15 +432,16 @@ let sop_cmd =
   in
   Cmd.v
     (Cmd.info "sop" ~doc:"Minimise to two-level form (Quine-McCluskey) and build the netlist.")
-    Term.(const run $ n $ minterms $ output_arg)
+    Term.(const run $ n $ minterms $ output_arg $ metrics_arg $ trace_arg)
 
 (* --- pdfatpg ----------------------------------------------------------------- *)
 
 let pdfatpg_cmd =
-  let run file bench limit max_paths seed =
-    let c = load ~file ~bench in
-    let s = Pdf_atpg.classify_all ~backtrack_limit:limit ~max_paths ~seed c in
-    Format.printf "%a@." Pdf_atpg.pp_summary s
+  let run file bench limit max_paths seed metrics trace =
+    with_obs metrics trace (fun ppf ->
+        let c = load ~file ~bench in
+        let s = Pdf_atpg.classify_all ~backtrack_limit:limit ~max_paths ~seed c in
+        Format.fprintf ppf "%a@." Pdf_atpg.pp_summary s)
   in
   let limit =
     Arg.(value & opt int 2000 & info [ "backtracks" ] ~doc:"Justification budget per frame.")
@@ -353,7 +452,7 @@ let pdfatpg_cmd =
   Cmd.v
     (Cmd.info "pdfatpg"
        ~doc:"Classify every path delay fault as robustly testable/untestable (exact ATPG).")
-    Term.(const run $ file_arg $ bench_arg $ limit $ max_paths $ seed_arg)
+    Term.(const run $ file_arg $ bench_arg $ limit $ max_paths $ seed_arg $ metrics_arg $ trace_arg)
 
 let () =
   let doc = "synthesis-for-testability with comparison units (Pomeranz & Reddy, DAC'95)" in

@@ -8,7 +8,11 @@
    Run with: dune exec examples/delay_testing.exe *)
 
 let coverage label c =
-  let r = Pdf_campaign.run ~max_pairs:60_000 ~stop_window:8_000 ~seed:3L c in
+  let r =
+    Pdf_campaign.exec
+      { Pdf_campaign.default with max_pairs = 60_000; stop_window = 8_000; seed = 3L }
+      c
+  in
   Printf.printf "%-18s faults %8s   robustly detected %6s   coverage %5.2f%%   last effective pair %s\n"
     label
     (Table.int r.Pdf_campaign.total_faults)

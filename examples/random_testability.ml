@@ -6,7 +6,7 @@
    Run with: dune exec examples/random_testability.exe *)
 
 let campaign label c =
-  let r = Campaign.run ~max_patterns:200_000 ~seed:42L c in
+  let r = Campaign.exec { Campaign.default with max_patterns = 200_000; seed = 42L } c in
   Printf.printf "%-22s faults %5d   remaining %3d   last effective pattern %s\n"
     label r.Campaign.total_faults r.Campaign.remaining
     (Table.int r.Campaign.last_effective_pattern);

@@ -169,6 +169,12 @@ let backtrace st node v =
 
 type verdict = Found | Exhausted
 
+(* Observability probes: one counter bump per decision / backtrack / abort,
+   nothing inside implication or frontier computation. *)
+let decisions_c = Obs.Counter.make ~help:"PI assignments tried" "podem.decisions"
+let backtracks_c = Obs.Counter.make ~help:"decision reversals" "podem.backtracks"
+let aborted_c = Obs.Counter.make ~help:"searches hitting the backtrack limit" "podem.aborted"
+
 let rec search st =
   imply st;
   if detected st then Found
@@ -210,6 +216,7 @@ let rec search st =
         | None -> Exhausted
         | Some (pi, pv) ->
           let try_value value =
+            Obs.Counter.incr decisions_c;
             st.pi_value.(pi) <- value;
             search st
           in
@@ -217,6 +224,7 @@ let rec search st =
           | Found -> Found
           | Exhausted ->
             st.backtracks <- st.backtracks + 1;
+            Obs.Counter.incr backtracks_c;
             if st.backtracks > st.limit then raise Abort;
             (match try_value (Tv.lnot pv) with
             | Found -> Found
@@ -259,7 +267,9 @@ let generate ?(backtrack_limit = 1000) c (f : Fault.t) =
     in
     Test vec
   | Exhausted -> Untestable
-  | exception Abort -> Aborted
+  | exception Abort ->
+    Obs.Counter.incr aborted_c;
+    Aborted
 
 type stats = {
   tested : int;

@@ -15,7 +15,10 @@ type outcome =
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val generate : ?backtrack_limit:int -> Circuit.t -> Fault.t -> outcome
-(** Default backtrack limit: 1000. *)
+(** Default backtrack limit: 1000.
+
+    Observability (when enabled): counters [podem.decisions],
+    [podem.backtracks], [podem.aborted]. *)
 
 type stats = {
   tested : int;

@@ -10,7 +10,9 @@ let pp_report ppf r =
 
 let find_untestable ?(backtrack_limit = 1000) ?(prefilter_patterns = 4096) ~seed c =
   let survivors =
-    Campaign.undetected ~max_patterns:prefilter_patterns ~seed c
+    Campaign.survivors
+      { Campaign.default with max_patterns = prefilter_patterns; seed }
+      c
   in
   let untestable = ref [] in
   let aborted = ref 0 in

@@ -87,15 +87,43 @@ let mark st waves =
   st.detected <- st.detected + !fresh;
   !fresh
 
-let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
-    ?(max_marked_paths = 50_000_000) ?domains ~seed c =
-  let domains =
-    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
-  in
+(* Observability probes (see Obs). The marking DFS carries none; pair-level
+   accounting happens once per consumed pair in [consume]. *)
+let pairs_c = Obs.Counter.make ~help:"two-pattern tests applied" "pdf.pairs"
+let effective_c = Obs.Counter.make ~help:"pairs detecting a new path fault" "pdf.pairs_effective"
+let detected_c = Obs.Counter.make ~help:"path faults robustly detected" "pdf.faults_detected"
+let gap_h = Obs.Histogram.make ~help:"pairs between effective pairs" "pdf.effective_gap"
+
+type config = {
+  max_pairs : int;
+  stop_window : int;
+  max_marked_paths : int;
+  domains : int;
+  seed : int64;
+  obs : bool;
+}
+
+let default =
+  {
+    max_pairs = 2_000_000;
+    stop_window = 20_000;
+    max_marked_paths = 50_000_000;
+    domains = 0;
+    seed = 1L;
+    obs = false;
+  }
+
+let exec cfg c =
+  if cfg.obs then Obs.enable ();
+  let max_pairs = cfg.max_pairs in
+  let stop_window = cfg.stop_window in
+  let max_marked_paths = cfg.max_marked_paths in
+  let seed = cfg.seed in
+  let domains = Pool.domains_of_flag cfg.domains in
   let cmp = Compiled.of_circuit c in
   let labels =
     try Paths.labels c
-    with Paths.Overflow -> failwith "Pdf_campaign.run: path count overflow"
+    with Paths.Overflow -> failwith "Pdf_campaign.exec: path count overflow"
   in
   let outs = Compiled.outputs cmp in
   let bases = Array.make (Array.length outs) 0 in
@@ -107,7 +135,7 @@ let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
     outs;
   let total_paths = !total in
   if total_paths > 50_000_000 then
-    failwith "Pdf_campaign.run: too many path faults";
+    failwith "Pdf_campaign.exec: too many path faults";
   let st =
     {
       cmp;
@@ -137,7 +165,14 @@ let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
   in
   let consume waves =
     incr applied;
-    if mark st waves > 0 then last_effective := !applied
+    let fresh = mark st waves in
+    Obs.Counter.incr pairs_c;
+    if fresh > 0 then begin
+      Obs.Counter.incr effective_c;
+      Obs.Counter.add detected_c fresh;
+      Obs.Histogram.observe gap_h (!applied - !last_effective);
+      last_effective := !applied
+    end
   in
   let serial () =
     while continue_ () do
@@ -175,8 +210,9 @@ let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
       done
     done
   in
-  (try if domains <= 1 then serial () else Pool.with_pool ~domains parallel
-   with Budget_exhausted -> ());
+  Obs.Span.with_ "pdf.campaign" (fun () ->
+      try if domains <= 1 then serial () else Pool.with_pool ~domains parallel
+      with Budget_exhausted -> ());
   {
     total_paths;
     total_faults = 2 * total_paths;
@@ -184,3 +220,17 @@ let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
     last_effective_pattern = !last_effective;
     patterns_applied = !applied;
   }
+
+(* Deprecated optional-argument wrapper, kept for one release. *)
+let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
+    ?(max_marked_paths = 50_000_000) ?domains ~seed c =
+  exec
+    {
+      max_pairs;
+      stop_window;
+      max_marked_paths;
+      domains = (match domains with Some d -> max 1 d | None -> 0);
+      seed;
+      obs = false;
+    }
+    c

@@ -22,6 +22,38 @@ val count_robust : Compiled.t -> Wave.t array -> int
     detected in exactly one direction), counted by dynamic programming in
     linear time. *)
 
+type config = {
+  max_pairs : int;  (** two-pattern test budget (default 2_000_000). *)
+  stop_window : int;
+      (** stop after this many consecutive ineffective pairs
+          (default 20_000). *)
+  max_marked_paths : int;
+      (** total path-marking work budget (default 50_000_000). *)
+  domains : int;
+      (** domain-pool width, resolved by {!Pool.domains_of_flag}: [<= 0]
+          picks the recommended width, [1] forces the serial path. The
+          result is bit-identical for every value. *)
+  seed : int64;
+  obs : bool;  (** force-enable {!Obs} collection for this run. *)
+}
+
+val default : config
+
+val exec : config -> Circuit.t -> result
+(** Apply random two-pattern tests until [config.stop_window] consecutive
+    pairs detect nothing new, or [config.max_pairs] is reached.
+    [config.max_marked_paths] bounds total marking work. Raises [Failure]
+    if the circuit has more than 50 million paths.
+
+    With [config.domains <> 1] the per-pair wave simulations fan out over
+    a domain pool in blocks while path marking stays serial in pair order;
+    the result is bit-identical to the serial run.
+
+    Observability (when enabled): counters [pdf.pairs],
+    [pdf.pairs_effective], [pdf.faults_detected]; histogram
+    [pdf.effective_gap] (pairs elapsed since the previous effective pair,
+    observed at each effective pair); span [pdf.campaign]. *)
+
 val run :
   ?max_pairs:int ->
   ?stop_window:int ->
@@ -30,13 +62,4 @@ val run :
   seed:int64 ->
   Circuit.t ->
   result
-(** Apply random two-pattern tests until [stop_window] (default 20_000)
-    consecutive pairs detect nothing new, or [max_pairs] (default 2_000_000)
-    is reached. [max_marked_paths] (default 50_000_000) bounds total marking
-    work. Raises [Failure] if the circuit has more than 100 million path
-    faults.
-
-    [domains] (default {!Pool.default_domains}) fans the per-pair wave
-    simulations out over a domain pool in blocks while path marking stays
-    serial in pair order; the result is bit-identical to the serial run,
-    which [domains = 1] selects explicitly. *)
+  [@@deprecated "Use Pdf_campaign.exec with a Pdf_campaign.config record."]

@@ -29,6 +29,15 @@ let lowest_bit mask =
                        (Int64.mul isolated 0x022FDD63CC95386DL)
                        58))
 
+(* Observability probes. Disabled probes are a single atomic load; the
+   per-fault inner loop carries none — scan totals are flushed once per
+   range so the hot path is untouched. *)
+let patterns_c = Obs.Counter.make ~help:"random patterns simulated" "fsim.patterns"
+let batches_c = Obs.Counter.make ~help:"64-wide pattern batches" "fsim.batches"
+let dropped_c = Obs.Counter.make ~help:"faults detected and dropped" "fsim.faults_dropped"
+let scans_c = Obs.Counter.make ~help:"fault slots scanned" "fsim.fault_scans"
+let batch_drops_h = Obs.Histogram.make ~help:"faults dropped per batch" "fsim.batch_drops"
+
 (* Scan faults [lo, hi) of the current batch on [sim]: kill detected faults
    in [alive] and return (newly detected, highest 1-based effective pattern,
    0 if none). The full-batch case skips the mask entirely — the branch on
@@ -56,15 +65,31 @@ let scan_range ~sim ~fault_list ~(alive : bool array) ~batch_mask ~base lo hi =
         if mask <> 0L then record i mask
       end
     done;
+  Obs.Counter.add scans_c (hi - lo);
+  Obs.Counter.add dropped_c !fresh;
   (!fresh, !best)
 
-let run_internal ?faults ?(max_patterns = 1_000_000) ?domains ~seed c =
-  let domains =
-    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
-  in
+type config = {
+  faults : Fault.t list option;
+  max_patterns : int;
+  domains : int;
+  seed : int64;
+  obs : bool;
+}
+
+let default =
+  { faults = None; max_patterns = 1_000_000; domains = 0; seed = 1L; obs = false }
+
+let run_internal cfg c =
+  if cfg.obs then Obs.enable ();
+  let max_patterns = cfg.max_patterns in
+  let seed = cfg.seed in
+  let domains = Pool.domains_of_flag cfg.domains in
   let cmp = Compiled.of_circuit c in
   let fault_list =
-    match faults with Some fs -> Array.of_list fs | None -> Array.of_list (Fault.collapsed c)
+    match cfg.faults with
+    | Some fs -> Array.of_list fs
+    | None -> Array.of_list (Fault.collapsed c)
   in
   let n_faults = Array.length fault_list in
   let alive = Array.make n_faults true in
@@ -76,18 +101,22 @@ let run_internal ?faults ?(max_patterns = 1_000_000) ?domains ~seed c =
   let serial () =
     let sim = Fsim.create cmp in
     while !alive_count > 0 && !applied < max_patterns do
-      let batch = min 64 (max_patterns - !applied) in
-      let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
-      Fsim.load_patterns sim words;
-      let batch_mask =
-        if batch = 64 then -1L else Int64.sub (Int64.shift_left 1L batch) 1L
-      in
-      let fresh, best =
-        scan_range ~sim ~fault_list ~alive ~batch_mask ~base:!applied 0 n_faults
-      in
-      alive_count := !alive_count - fresh;
-      if best > !last_effective then last_effective := best;
-      applied := !applied + batch
+      Obs.Span.with_ "fsim.batch" (fun () ->
+          let batch = min 64 (max_patterns - !applied) in
+          let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
+          Fsim.load_patterns sim words;
+          let batch_mask =
+            if batch = 64 then -1L else Int64.sub (Int64.shift_left 1L batch) 1L
+          in
+          let fresh, best =
+            scan_range ~sim ~fault_list ~alive ~batch_mask ~base:!applied 0 n_faults
+          in
+          alive_count := !alive_count - fresh;
+          if best > !last_effective then last_effective := best;
+          applied := !applied + batch;
+          Obs.Counter.add patterns_c batch;
+          Obs.Counter.incr batches_c;
+          Obs.Histogram.observe batch_drops_h fresh)
     done
   in
   (* Parallel campaign: the fault list is sharded across the pool; every
@@ -104,42 +133,48 @@ let run_internal ?faults ?(max_patterns = 1_000_000) ?domains ~seed c =
     let best_per_slot = Array.make nslots 0 in
     let batch_no = ref 0 in
     while !alive_count > 0 && !applied < max_patterns do
-      let batch = min 64 (max_patterns - !applied) in
-      let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
-      let batch_mask =
-        if batch = 64 then -1L else Int64.sub (Int64.shift_left 1L batch) 1L
-      in
-      let base = !applied in
-      let bno = !batch_no in
-      Array.fill fresh_per_slot 0 nslots 0;
-      Pool.for_chunks pool ~n:n_faults (fun ~slot ~lo ~hi ->
-          let sim =
-            match sims.(slot) with
-            | Some sim -> sim
-            | None ->
-              let sim = Fsim.create cmp in
-              sims.(slot) <- Some sim;
-              sim
+      Obs.Span.with_ "fsim.batch" (fun () ->
+          let batch = min 64 (max_patterns - !applied) in
+          let words = Array.init n_pi (fun _ -> Rng.next64 rng) in
+          let batch_mask =
+            if batch = 64 then -1L else Int64.sub (Int64.shift_left 1L batch) 1L
           in
-          if loaded.(slot) <> bno then begin
-            Fsim.load_patterns sim words;
-            loaded.(slot) <- bno
-          end;
-          let fresh, best =
-            scan_range ~sim ~fault_list ~alive ~batch_mask ~base lo hi
-          in
-          fresh_per_slot.(slot) <- fresh_per_slot.(slot) + fresh;
-          if best > best_per_slot.(slot) then best_per_slot.(slot) <- best);
-      alive_count := !alive_count - Array.fold_left ( + ) 0 fresh_per_slot;
-      Array.iter
-        (fun b -> if b > !last_effective then last_effective := b)
-        best_per_slot;
-      applied := !applied + batch;
-      incr batch_no
+          let base = !applied in
+          let bno = !batch_no in
+          Array.fill fresh_per_slot 0 nslots 0;
+          Pool.for_chunks pool ~n:n_faults (fun ~slot ~lo ~hi ->
+              let sim =
+                match sims.(slot) with
+                | Some sim -> sim
+                | None ->
+                  let sim = Fsim.create cmp in
+                  sims.(slot) <- Some sim;
+                  sim
+              in
+              if loaded.(slot) <> bno then begin
+                Fsim.load_patterns sim words;
+                loaded.(slot) <- bno
+              end;
+              let fresh, best =
+                scan_range ~sim ~fault_list ~alive ~batch_mask ~base lo hi
+              in
+              fresh_per_slot.(slot) <- fresh_per_slot.(slot) + fresh;
+              if best > best_per_slot.(slot) then best_per_slot.(slot) <- best);
+          let fresh_total = Array.fold_left ( + ) 0 fresh_per_slot in
+          alive_count := !alive_count - fresh_total;
+          Array.iter
+            (fun b -> if b > !last_effective then last_effective := b)
+            best_per_slot;
+          applied := !applied + batch;
+          incr batch_no;
+          Obs.Counter.add patterns_c batch;
+          Obs.Counter.incr batches_c;
+          Obs.Histogram.observe batch_drops_h fresh_total)
     done
   in
-  if domains <= 1 || n_faults <= 1 then serial ()
-  else Pool.with_pool ~domains parallel;
+  Obs.Span.with_ "fsim.campaign" (fun () ->
+      if domains <= 1 || n_faults <= 1 then serial ()
+      else Pool.with_pool ~domains parallel);
   let detected = n_faults - !alive_count in
   ( {
       total_faults = n_faults;
@@ -151,14 +186,31 @@ let run_internal ?faults ?(max_patterns = 1_000_000) ?domains ~seed c =
     fault_list,
     alive )
 
-let run ?faults ?max_patterns ?domains ~seed c =
-  let r, _, _ = run_internal ?faults ?max_patterns ?domains ~seed c in
+let exec cfg c =
+  let r, _, _ = run_internal cfg c in
   r
 
-let undetected ?faults ?max_patterns ?domains ~seed c =
-  let _, fault_list, alive = run_internal ?faults ?max_patterns ?domains ~seed c in
+let survivors cfg c =
+  let _, fault_list, alive = run_internal cfg c in
   let acc = ref [] in
   for i = Array.length fault_list - 1 downto 0 do
     if alive.(i) then acc := fault_list.(i) :: !acc
   done;
   !acc
+
+(* Deprecated optional-argument wrappers, kept for one release. *)
+
+let config_of ?faults ?(max_patterns = 1_000_000) ?domains ~seed () =
+  {
+    faults;
+    max_patterns;
+    domains = (match domains with Some d -> max 1 d | None -> 0);
+    seed;
+    obs = false;
+  }
+
+let run ?faults ?max_patterns ?domains ~seed c =
+  exec (config_of ?faults ?max_patterns ?domains ~seed ()) c
+
+let undetected ?faults ?max_patterns ?domains ~seed c =
+  survivors (config_of ?faults ?max_patterns ?domains ~seed ()) c

@@ -16,6 +16,41 @@ val lowest_bit : int64 -> int
 (** 0-based index of the lowest set bit (constant-time de Bruijn lookup);
     the argument must be non-zero. Exposed for testing. *)
 
+type config = {
+  faults : Fault.t list option;
+      (** fault list to target; [None] means {!Fault.collapsed}. *)
+  max_patterns : int;  (** random-pattern budget (default 1_000_000). *)
+  domains : int;
+      (** domain-pool width, resolved by {!Pool.domains_of_flag}: [<= 0]
+          picks the recommended width, [1] forces the serial path. The
+          result is bit-identical for every value. *)
+  seed : int64;
+  obs : bool;
+      (** force-enable {!Obs} collection for this run (the probes also
+          record whenever observability is already enabled globally). *)
+}
+
+val default : config
+(** [{ faults = None; max_patterns = 1_000_000; domains = 0; seed = 1L;
+       obs = false }] *)
+
+val exec : config -> Circuit.t -> result
+(** Apply uniform random patterns in 64-wide batches until every fault is
+    detected or [config.max_patterns] is exhausted. Detected faults are
+    dropped from simulation. Patterns inside a batch count as sequential,
+    so [last_effective_pattern] is exact.
+
+    With [config.domains <> 1] the fault list is sharded across a domain
+    pool, each worker simulating with a private {!Fsim.t} over the shared
+    compiled circuit; the result is bit-identical to the serial run.
+
+    Observability (when enabled): counters [fsim.patterns],
+    [fsim.batches], [fsim.faults_dropped], [fsim.fault_scans]; histogram
+    [fsim.batch_drops]; spans [fsim.campaign] > [fsim.batch]. *)
+
+val survivors : config -> Circuit.t -> Fault.t list
+(** The faults left undetected by the same campaign as {!exec}. *)
+
 val run :
   ?faults:Fault.t list ->
   ?max_patterns:int ->
@@ -23,16 +58,7 @@ val run :
   seed:int64 ->
   Circuit.t ->
   result
-(** Apply uniform random patterns in 64-wide batches until every fault is
-    detected or [max_patterns] (default 1_000_000) is exhausted. The fault
-    list defaults to {!Fault.collapsed}. Detected faults are dropped from
-    simulation. Patterns inside a batch count as sequential, so
-    [last_effective_pattern] is exact.
-
-    [domains] (default {!Pool.default_domains}) shards the fault list
-    across a domain pool, each worker simulating with a private {!Fsim.t}
-    over the shared compiled circuit; the result is bit-identical to the
-    serial run, which [domains = 1] selects explicitly. *)
+  [@@deprecated "Use Campaign.exec with a Campaign.config record."]
 
 val undetected :
   ?faults:Fault.t list ->
@@ -41,4 +67,4 @@ val undetected :
   seed:int64 ->
   Circuit.t ->
   Fault.t list
-(** The faults left undetected by the same campaign. *)
+  [@@deprecated "Use Campaign.survivors with a Campaign.config record."]

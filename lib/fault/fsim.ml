@@ -80,7 +80,10 @@ let create cmp =
     loaded = false;
   }
 
+let loads_c = Obs.Counter.make ~help:"fault-free batch simulations" "fsim.loads"
+
 let load_patterns st pi_words =
+  Obs.Counter.incr loads_c;
   Compiled.simulate_into st.cmp pi_words st.good;
   st.loaded <- true
 

@@ -173,12 +173,39 @@ let to_string c =
     order;
   Buffer.contents buf
 
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e =
+  if e.line > 0 then Format.fprintf ppf "line %d: %s" e.line e.message
+  else Format.pp_print_string ppf e.message
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let parse ?name text =
+  match of_string ?name text with
+  | c -> Ok c
+  | exception Parse_error (line, message) -> Error { line; message }
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text ->
+    parse ~name:(Filename.remove_extension (Filename.basename path)) text
+  | exception Sys_error message -> Error { line = 0; message }
+
 let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  of_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  match parse_file path with
+  | Ok c -> c
+  | Error { line; message } ->
+    if line > 0 then raise (Parse_error (line, message))
+    else raise (Sys_error message)
 
 let write_file path c =
   let oc = open_out_bin path in

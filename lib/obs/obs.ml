@@ -1,0 +1,284 @@
+(* Process-wide probe registry behind a single on/off switch.
+
+   Counters and histograms are plain records of [Atomic.t] cells, so pool
+   workers update them without locks. The span tree is shared across
+   domains and guarded by [mu]; each domain tracks its own current-span
+   stack in domain-local storage, so concurrent spans from different
+   domains aggregate into the same tree without interleaving corruption.
+   The registry mutex is also reused for idempotent probe registration. *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let now () = Unix.gettimeofday ()
+
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* --- counters ------------------------------------------------------------ *)
+
+type counter = { c_name : string; c_help : string; c_v : int Atomic.t }
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+let counters_order : counter list ref = ref [] (* reversed *)
+
+module Counter = struct
+  type t = counter
+
+  let make ?(help = "") name =
+    locked (fun () ->
+        match Hashtbl.find_opt counters_tbl name with
+        | Some c -> c
+        | None ->
+          let c = { c_name = name; c_help = help; c_v = Atomic.make 0 } in
+          Hashtbl.add counters_tbl name c;
+          counters_order := c :: !counters_order;
+          c)
+
+  let incr c = if Atomic.get on then Atomic.incr c.c_v
+  let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.c_v n)
+  let value c = Atomic.get c.c_v
+  let name c = c.c_name
+end
+
+(* --- histograms ---------------------------------------------------------- *)
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_min : int Atomic.t;
+  h_max : int Atomic.t;
+  h_buckets : int Atomic.t array; (* 64 power-of-two buckets *)
+}
+
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let histograms_order : histogram list ref = ref []
+
+(* bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 in
+    let v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    !i
+  end
+
+let rec atomic_min cell x =
+  let cur = Atomic.get cell in
+  if x < cur && not (Atomic.compare_and_set cell cur x) then atomic_min cell x
+
+let rec atomic_max cell x =
+  let cur = Atomic.get cell in
+  if x > cur && not (Atomic.compare_and_set cell cur x) then atomic_max cell x
+
+module Histogram = struct
+  type t = histogram
+
+  let make ?(help = "") name =
+    locked (fun () ->
+        match Hashtbl.find_opt histograms_tbl name with
+        | Some h -> h
+        | None ->
+          let h =
+            {
+              h_name = name;
+              h_help = help;
+              h_count = Atomic.make 0;
+              h_sum = Atomic.make 0;
+              h_min = Atomic.make max_int;
+              h_max = Atomic.make min_int;
+              h_buckets = Array.init 64 (fun _ -> Atomic.make 0);
+            }
+          in
+          Hashtbl.add histograms_tbl name h;
+          histograms_order := h :: !histograms_order;
+          h)
+
+  let observe h v =
+    if Atomic.get on then begin
+      Atomic.incr h.h_count;
+      ignore (Atomic.fetch_and_add h.h_sum v);
+      atomic_min h.h_min v;
+      atomic_max h.h_max v;
+      Atomic.incr h.h_buckets.(bucket_of v)
+    end
+
+  let count h = Atomic.get h.h_count
+  let sum h = Atomic.get h.h_sum
+end
+
+(* --- spans --------------------------------------------------------------- *)
+
+type node = {
+  s_name : string;
+  mutable s_calls : int;
+  mutable s_wall : float;
+  s_kids : (string, node) Hashtbl.t;
+  mutable s_kid_order : string list; (* reversed *)
+}
+
+let fresh_node name =
+  { s_name = name; s_calls = 0; s_wall = 0.; s_kids = Hashtbl.create 4; s_kid_order = [] }
+
+let root = fresh_node ""
+
+(* Per-domain stack of open spans; a worker domain starts at the root. *)
+let stack_key : node list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+module Span = struct
+  let with_ name f =
+    if not (Atomic.get on) then f ()
+    else begin
+      let stack = Domain.DLS.get stack_key in
+      let parent = match !stack with n :: _ -> n | [] -> root in
+      let node =
+        locked (fun () ->
+            match Hashtbl.find_opt parent.s_kids name with
+            | Some n -> n
+            | None ->
+              let n = fresh_node name in
+              Hashtbl.add parent.s_kids name n;
+              parent.s_kid_order <- name :: parent.s_kid_order;
+              n)
+      in
+      stack := node :: !stack;
+      let t0 = now () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = now () -. t0 in
+          (match !stack with _ :: tl -> stack := tl | [] -> ());
+          locked (fun () ->
+              node.s_calls <- node.s_calls + 1;
+              node.s_wall <- node.s_wall +. dt))
+        f
+    end
+
+  type info = { name : string; calls : int; wall : float; children : info list }
+
+  let rec info_of n =
+    {
+      name = n.s_name;
+      calls = n.s_calls;
+      wall = n.s_wall;
+      children =
+        List.rev_map (fun k -> info_of (Hashtbl.find n.s_kids k)) n.s_kid_order;
+    }
+
+  let snapshot () =
+    locked (fun () -> (info_of root).children)
+end
+
+(* --- reset --------------------------------------------------------------- *)
+
+let reset () =
+  locked (fun () ->
+      List.iter (fun c -> Atomic.set c.c_v 0) !counters_order;
+      List.iter
+        (fun h ->
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0;
+          Atomic.set h.h_min max_int;
+          Atomic.set h.h_max min_int;
+          Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+        !histograms_order;
+      Hashtbl.reset root.s_kids;
+      root.s_kid_order <- [];
+      root.s_calls <- 0;
+      root.s_wall <- 0.)
+
+(* --- exporters ----------------------------------------------------------- *)
+
+module Export = struct
+  let counters () =
+    List.rev_map (fun c -> (c.c_name, Atomic.get c.c_v)) !counters_order
+
+  let histogram_json h =
+    let buckets = ref [] in
+    for i = 63 downto 0 do
+      let n = Atomic.get h.h_buckets.(i) in
+      if n > 0 then
+        buckets := Obs_json.Obj [ ("pow2", Obs_json.Int i); ("count", Obs_json.Int n) ] :: !buckets
+    done;
+    let count = Atomic.get h.h_count in
+    Obs_json.Obj
+      [
+        ("count", Obs_json.Int count);
+        ("sum", Obs_json.Int (Atomic.get h.h_sum));
+        ("min", if count = 0 then Obs_json.Null else Obs_json.Int (Atomic.get h.h_min));
+        ("max", if count = 0 then Obs_json.Null else Obs_json.Int (Atomic.get h.h_max));
+        ("buckets", Obs_json.List !buckets);
+      ]
+
+  let rec span_json (s : Span.info) =
+    Obs_json.Obj
+      [
+        ("name", Obs_json.String s.Span.name);
+        ("calls", Obs_json.Int s.Span.calls);
+        ("wall_seconds", Obs_json.Float s.Span.wall);
+        ("children", Obs_json.List (List.map span_json s.Span.children));
+      ]
+
+  let to_json_value () =
+    Obs_json.Obj
+      [
+        ("schema_version", Obs_json.Int 1);
+        ("enabled", Obs_json.Bool (Atomic.get on));
+        ("counters", Obs_json.Obj (List.map (fun (n, v) -> (n, Obs_json.Int v)) (counters ())));
+        ( "histograms",
+          Obs_json.Obj
+            (List.rev_map (fun h -> (h.h_name, histogram_json h)) !histograms_order) );
+        ("trace", Obs_json.List (List.map span_json (Span.snapshot ())));
+      ]
+
+  let to_json () = Obs_json.to_string (to_json_value ())
+
+  let trace_text () =
+    let b = Buffer.create 256 in
+    let rec walk depth (s : Span.info) =
+      Buffer.add_string b
+        (Printf.sprintf "%*s%-*s calls %8d  wall %10.6fs\n" (2 * depth) ""
+           (max 1 (32 - (2 * depth)))
+           s.Span.name s.Span.calls s.Span.wall);
+      List.iter (walk (depth + 1)) s.Span.children
+    in
+    let spans = Span.snapshot () in
+    if spans = [] then Buffer.add_string b "  (no spans recorded)\n"
+    else List.iter (walk 1) spans;
+    Buffer.contents b
+
+  let to_text () =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "== metrics ==\ncounters:\n";
+    List.iter
+      (fun (n, v) -> Buffer.add_string b (Printf.sprintf "  %-32s %12d\n" n v))
+      (counters ());
+    Buffer.add_string b "histograms:\n";
+    List.iter
+      (fun h ->
+        let count = Atomic.get h.h_count in
+        Buffer.add_string b
+          (Printf.sprintf "  %-32s count %8d  sum %12d  min %d  max %d\n" h.h_name
+             count (Atomic.get h.h_sum)
+             (if count = 0 then 0 else Atomic.get h.h_min)
+             (if count = 0 then 0 else Atomic.get h.h_max)))
+      (List.rev !histograms_order);
+    Buffer.add_string b "trace:\n";
+    Buffer.add_string b (trace_text ());
+    Buffer.contents b
+
+  let write_file file =
+    let oc = open_out file in
+    output_string oc (to_json ());
+    output_char oc '\n';
+    close_out oc
+end

@@ -1,0 +1,104 @@
+(** Observability: counters, histograms and hierarchical span timers.
+
+    A process-wide registry of named probes with text and JSON exporters.
+    Everything is safe to use from {!Domain} pool workers: counter and
+    histogram updates are single atomic operations, span bookkeeping takes a
+    mutex only on span entry/exit (never inside the timed region).
+
+    {b Disabled is free.} The whole subsystem sits behind one global switch,
+    off by default. A disabled probe is a single atomic load and a
+    predictable branch — a few nanoseconds — so probes may sit in hot loops.
+    Probes never influence the computation they observe: enabling or
+    disabling observability cannot change any result bit.
+
+    {b Probe naming convention} (see DESIGN.md §9): lowercase
+    [subsystem.metric] with dots as separators, e.g. [fsim.patterns],
+    [engine.cut_size], [pool.domain3.busy_us]. Spans use the same style
+    ([fsim.batch], [engine.pass], [bench.table6]). Counter names ending in
+    [_us] hold microseconds. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Zero every counter and histogram and drop the recorded span tree.
+    Registered probe definitions survive (names stay in the registry). *)
+
+val now : unit -> float
+(** Wall-clock seconds (the clock used for span timing), exposed so
+    instrumented code does not need its own timing dependency. *)
+
+module Counter : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Register (or retrieve — [make] is idempotent per name) a monotonic
+      counter. Typically called once at module initialisation. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Register (or retrieve) a histogram with power-of-two buckets:
+      bucket 0 counts observations [v <= 0], bucket [i >= 1] counts
+      [2{^i-1} <= v < 2{^i}]. *)
+
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+end
+
+module Span : sig
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** [with_ name f] times [f ()] and accounts it to the trace-tree node
+      [name] under the innermost enclosing span of the {e current domain}
+      (pool workers therefore root their spans at the top level). Wall
+      clock and call count accumulate across calls; reentrant and
+      exception-safe. When observability is disabled this is exactly
+      [f ()]. *)
+
+  type info = {
+    name : string;
+    calls : int;
+    wall : float;  (** total wall-clock seconds across [calls] *)
+    children : info list;
+  }
+
+  val snapshot : unit -> info list
+  (** Consistent copy of the recorded span forest (creation order). *)
+end
+
+module Export : sig
+  val counters : unit -> (string * int) list
+  (** Registered counters in creation order. *)
+
+  val to_json_value : unit -> Obs_json.t
+  (** The full registry as JSON. Schema (version 1, see DESIGN.md §9):
+      {v
+      { "schema_version": 1,
+        "enabled": <bool>,
+        "counters": { "<name>": <int>, ... },
+        "histograms": { "<name>": { "count", "sum", "min", "max",
+                                    "buckets": [ {"pow2": i, "count": n} ] } },
+        "trace": [ { "name", "calls", "wall_seconds", "children": [...] } ] }
+      v} *)
+
+  val to_json : unit -> string
+  (** [to_json_value] rendered compactly on one line. *)
+
+  val to_text : unit -> string
+  (** Human-readable dump: counters, histograms, then the span tree. *)
+
+  val trace_text : unit -> string
+  (** Just the span tree, indented two spaces per level. *)
+
+  val write_file : string -> unit
+  (** Write [to_json ()] (plus a trailing newline) to a file. *)
+end

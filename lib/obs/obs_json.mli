@@ -1,0 +1,29 @@
+(** Minimal JSON values, printer and parser.
+
+    Just enough JSON for the metrics/trace exporters and their validators:
+    no external dependency, no streaming, strings are assumed UTF-8. The
+    printer emits compact single-line documents; [parse] accepts anything
+    the printer emits plus ordinary standards-compliant JSON (escapes,
+    [\uXXXX], nested containers, exponent floats). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Floats are printed
+    with ["%.12g"] and always contain a ['.'] or exponent so they re-parse
+    as [Float]. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. Numbers
+    without ['.'], ['e'] or ['E'] parse as [Int] (falling back to [Float]
+    when they exceed the native int range). *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] looks up [key]; [None] on other constructors. *)

@@ -29,9 +29,38 @@ type t = {
   mutable job : job option;
   mutable generation : int;
   mutable stopped : bool;
+  busy : Obs.Counter.t array; (* per-slot busy time, pool.domain<slot>.busy_us *)
 }
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let domains_of_flag n = if n <= 0 then default_domains () else n
+
+(* Per-domain busy-time counters are keyed by slot, not by pool, so every
+   pool of the process aggregates into the same probes (idempotent
+   [Obs.Counter.make]). Created lazily: a process that never builds a pool
+   registers nothing. *)
+let chunks_counter = lazy (Obs.Counter.make ~help:"pool chunks executed" "pool.chunks")
+
+let busy_counters : (int, Obs.Counter.t) Hashtbl.t = Hashtbl.create 8
+let busy_mu = Mutex.create ()
+
+let busy_counter slot =
+  Mutex.lock busy_mu;
+  let c =
+    match Hashtbl.find_opt busy_counters slot with
+    | Some c -> c
+    | None ->
+      let c =
+        Obs.Counter.make
+          ~help:"busy microseconds in this pool slot"
+          (Printf.sprintf "pool.domain%d.busy_us" slot)
+      in
+      Hashtbl.add busy_counters slot c;
+      c
+  in
+  Mutex.unlock busy_mu;
+  c
 
 let run_chunks j slot =
   let continue_ = ref true in
@@ -88,6 +117,7 @@ let create ?domains () =
       job = None;
       generation = 0;
       stopped = false;
+      busy = Array.init n_domains busy_counter;
     }
   in
   if n_domains > 1 then
@@ -112,6 +142,20 @@ let with_pool ?domains f =
 
 let for_chunks t ?chunk ~n body =
   if n < 0 then invalid_arg "Pool.for_chunks: negative range";
+  (* Chunk bodies are timed only when observability is on; the disabled
+     path runs the raw body with no clock reads. *)
+  let body =
+    if not (Obs.enabled ()) then body
+    else
+      fun ~slot ~lo ~hi ->
+        let t0 = Obs.now () in
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Counter.add t.busy.(slot)
+              (int_of_float ((Obs.now () -. t0) *. 1e6));
+            Obs.Counter.incr (Lazy.force chunks_counter))
+          (fun () -> body ~slot ~lo ~hi)
+  in
   if n > 0 then
     if t.n_domains <= 1 || n = 1 then body ~slot:0 ~lo:0 ~hi:n
     else begin

@@ -18,7 +18,12 @@
     deterministic per index and do not communicate through shared mutable
     state (other than writing to disjoint slots of caller-owned arrays),
     every [map]/[map_chunks]/[for_chunks] call yields results identical to
-    a serial left-to-right execution. *)
+    a serial left-to-right execution.
+
+    When {!Obs.enabled} is on, every chunk execution is accounted to the
+    counters [pool.chunks] (total chunks) and [pool.domain<slot>.busy_us]
+    (per-slot busy microseconds, aggregated across pools); disabled probes
+    cost nothing on the chunk path. *)
 
 type t
 
@@ -26,6 +31,13 @@ val default_domains : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core for
     the rest of the process. This is the default [?domains] everywhere a
     knob is exposed. *)
+
+val domains_of_flag : int -> int
+(** Canonical interpretation of a user-facing [--domains] / config value:
+    any [n <= 0] means "pick for me" ({!default_domains}), [1] forces the
+    serial path, [n >= 2] is taken literally. The CLI, the bench harness
+    and the campaign/engine config records all resolve through this single
+    function. *)
 
 val create : ?domains:int -> unit -> t
 (** Spawn a pool of [domains - 1] worker domains ([domains] defaults to

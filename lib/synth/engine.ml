@@ -15,6 +15,7 @@ type options = {
   dc_backtracks : int;
   max_units : int;
   domains : int;
+  obs : bool;
 }
 
 let default_options =
@@ -30,8 +31,17 @@ let default_options =
     use_dontcares = false;
     dc_backtracks = 200;
     max_units = 1;
-    domains = Pool.default_domains ();
+    domains = 0;
+    obs = false;
   }
+
+(* Observability probes. [cut_size_h] and [realised_c] fire inside worker
+   evaluation — counters and histograms are atomic, so that is safe; spans
+   stay on the orchestrating domain. *)
+let candidates_c = Obs.Counter.make ~help:"subcircuit candidates enumerated" "engine.candidates"
+let realised_c = Obs.Counter.make ~help:"candidates realised as units" "engine.realised"
+let accepted_c = Obs.Counter.make ~help:"replacements spliced in" "engine.accepted"
+let cut_size_h = Obs.Histogram.make ~help:"K-cut input counts" "engine.cut_size"
 
 type stats = {
   passes : int;
@@ -134,12 +144,15 @@ let score_candidates ?pool opts ~sim_batches ~cmp0 labels c root =
     Array.of_list
       (Subcircuit.enumerate ~k:opts.k ~max_candidates:opts.max_candidates c root)
   in
+  Obs.Counter.add candidates_c (Array.length subs);
   let eval idx sub =
     let rng = Rng.create (candidate_seed opts.seed root idx) in
+    Obs.Histogram.observe cut_size_h (Array.length sub.Subcircuit.inputs);
     let tt = Subcircuit.extract c sub in
     match realise opts rng ~sim_batches ~cmp0 c sub tt with
     | None -> None
     | Some (built, exact) ->
+      Obs.Counter.incr realised_c;
       let gain = Subcircuit.removable_cost c sub - built.Comparison_unit.gates2 in
       let new_paths = replaced_path_label labels sub built in
       Some { sub; built; gain; new_paths; exact }
@@ -223,6 +236,7 @@ let run_pass ?pool objective opts c =
         let fresh = Replace.splice ~verify_local c cand.sub cand.built in
         ignore fresh;
         incr replacements;
+        Obs.Counter.incr accepted_c;
         Array.iter
           (fun input -> if is_gate c input then marked.(input) <- true)
           cand.sub.Subcircuit.inputs
@@ -243,7 +257,7 @@ let optimize_with ?pool objective opts c =
   let continue = ref true in
   while !continue && !passes < opts.max_passes do
     incr passes;
-    let r = run_pass ?pool objective opts c in
+    let r = Obs.Span.with_ "engine.pass" (fun () -> run_pass ?pool objective opts c) in
     replacements := !replacements + r;
     (match reference with
     | Some reference ->
@@ -262,7 +276,8 @@ let optimize_with ?pool objective opts c =
   }
 
 let optimize objective opts c =
-  if opts.domains <= 1 then optimize_with objective opts c
+  if opts.obs then Obs.enable ();
+  let domains = Pool.domains_of_flag opts.domains in
+  if domains <= 1 then optimize_with objective opts c
   else
-    Pool.with_pool ~domains:opts.domains (fun pool ->
-        optimize_with ~pool objective opts c)
+    Pool.with_pool ~domains (fun pool -> optimize_with ~pool objective opts c)

@@ -32,16 +32,18 @@ type options = {
           comparison units sharing a permutation (1 = single units only). *)
   domains : int;
       (** domain-pool width for concurrent candidate evaluation
-          (enumeration and splicing stay serial). [1] forces the serial
-          path; results are identical for every value because candidates
-          are scored with per-candidate derived seeds and merged back in
-          enumeration order. *)
+          (enumeration and splicing stay serial), resolved by
+          {!Pool.domains_of_flag}: [<= 0] picks the recommended width, [1]
+          forces the serial path. Results are identical for every value
+          because candidates are scored with per-candidate derived seeds
+          and merged back in enumeration order. *)
+  obs : bool;  (** force-enable {!Obs} collection for this run. *)
 }
 
 val default_options : options
 (** K = 6, 64 candidates, exact identification, merging, local verification
     on, global verification off, at most 16 passes, seed 1, extensions off,
-    [domains = Pool.default_domains ()]. *)
+    [domains = 0] (auto), [obs = false]. *)
 
 type stats = {
   passes : int;
@@ -56,4 +58,8 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val optimize : objective -> options -> Circuit.t -> stats
 (** Mutates the circuit. Raises [Failure] if [verify_global] is set and a
-    pass breaks equivalence (which would indicate a bug). *)
+    pass breaks equivalence (which would indicate a bug).
+
+    Observability (when enabled): counters [engine.candidates],
+    [engine.realised], [engine.accepted]; histogram [engine.cut_size];
+    span [engine.pass] (one per resynthesis pass). *)

@@ -25,4 +25,5 @@ let () =
       Helpers.qsuite "extension-properties" Test_extensions.qchecks;
       ("parallel", Test_parallel.suite);
       Helpers.qsuite "parallel-properties" Test_parallel.qchecks;
+      ("obs", Test_obs.suite);
     ]

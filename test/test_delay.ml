@@ -130,13 +130,21 @@ let test_count_matches_marking () =
 
 let test_pdf_campaign_runs () =
   let c = c17 () in
-  let r = Pdf_campaign.run ~max_pairs:20_000 ~stop_window:2_000 ~seed:17L c in
+  let r =
+    Pdf_campaign.exec
+      { Pdf_campaign.default with max_pairs = 20_000; stop_window = 2_000; seed = 17L }
+      c
+  in
   check int_ "paths" 11 r.Pdf_campaign.total_paths;
   check int_ "faults" 22 r.Pdf_campaign.total_faults;
   check bool_ "detects most of c17" true (r.Pdf_campaign.detected > 10);
   check bool_ "detected bounded" true (r.Pdf_campaign.detected <= 22);
   (* determinism *)
-  let r2 = Pdf_campaign.run ~max_pairs:20_000 ~stop_window:2_000 ~seed:17L c in
+  let r2 =
+    Pdf_campaign.exec
+      { Pdf_campaign.default with max_pairs = 20_000; stop_window = 2_000; seed = 17L }
+      c
+  in
   check int_ "deterministic" r.Pdf_campaign.detected r2.Pdf_campaign.detected
 
 let test_pdf_campaign_against_enumeration () =
@@ -159,7 +167,11 @@ let test_pdf_campaign_against_enumeration () =
         | None -> ())
       paths
   done;
-  let r = Pdf_campaign.run ~max_pairs:pairs ~stop_window:pairs ~seed:23L c in
+  let r =
+    Pdf_campaign.exec
+      { Pdf_campaign.default with max_pairs = pairs; stop_window = pairs; seed = 23L }
+      c
+  in
   check int_ "union matches campaign" (Hashtbl.length detected) r.Pdf_campaign.detected
 
 let suite =

@@ -184,7 +184,11 @@ let test_pdf_campaign_wire_circuit () =
   let c = Circuit.create () in
   let a = Circuit.add_input c in
   Circuit.mark_output c a;
-  let r = Pdf_campaign.run ~max_pairs:100 ~stop_window:100 ~seed:1L c in
+  let r =
+    Pdf_campaign.exec
+      { Pdf_campaign.default with max_pairs = 100; stop_window = 100; seed = 1L }
+      c
+  in
   check int_ "both detected" 2 r.Pdf_campaign.detected
 
 (* --- multi-unit / dc edges ------------------------------------------------------------ *)

@@ -73,7 +73,7 @@ let test_detect_matches_naive () =
 
 let test_campaign_c17 () =
   let c = c17 () in
-  let r = Campaign.run ~max_patterns:10_000 ~seed:7L c in
+  let r = Campaign.exec { Campaign.default with max_patterns = 10_000; seed = 7L } c in
   (* c17 is fully testable; a few dozen random patterns suffice. *)
   check int_ "all detected" 0 r.Campaign.remaining;
   check bool_ "effective pattern sane" true
@@ -90,15 +90,18 @@ let test_campaign_detects_undetectable () =
   let out = Circuit.add_gate c Gate.Or [| dead; b |] in
   Circuit.mark_output c out;
   let fault = { Fault.site = Fault.Stem dead; stuck = false } in
-  let r = Campaign.run ~faults:[ fault ] ~max_patterns:4096 ~seed:3L c in
+  let cfg =
+    { Campaign.default with faults = Some [ fault ]; max_patterns = 4096; seed = 3L }
+  in
+  let r = Campaign.exec cfg c in
   check int_ "never detected" 1 r.Campaign.remaining;
-  let survivors = Campaign.undetected ~faults:[ fault ] ~max_patterns:4096 ~seed:3L c in
+  let survivors = Campaign.survivors cfg c in
   check int_ "survivor reported" 1 (List.length survivors)
 
 let test_campaign_deterministic () =
   let c = c17 () in
-  let r1 = Campaign.run ~max_patterns:1000 ~seed:11L c in
-  let r2 = Campaign.run ~max_patterns:1000 ~seed:11L c in
+  let r1 = Campaign.exec { Campaign.default with max_patterns = 1000; seed = 11L } c in
+  let r2 = Campaign.exec { Campaign.default with max_patterns = 1000; seed = 11L } c in
   check int_ "same eff" r1.Campaign.last_effective_pattern r2.Campaign.last_effective_pattern;
   check int_ "same detected" r1.Campaign.detected r2.Campaign.detected
 

@@ -49,8 +49,9 @@ let test_table6_flow () =
   let c = Circuit.copy c0 in
   ignore (Procedure2.run ~options:{ Engine.default_options with Engine.k = 5 } c);
   ignore (Redundancy.remove ~seed:10L c);
-  let r0 = Campaign.run ~max_patterns:30_000 ~seed:55L c0 in
-  let r1 = Campaign.run ~max_patterns:30_000 ~seed:55L c in
+  let cfg = { Campaign.default with max_patterns = 30_000; seed = 55L } in
+  let r0 = Campaign.exec cfg c0 in
+  let r1 = Campaign.exec cfg c in
   (* the modified circuit has no catastrophic testability loss: undetected
      fraction within a few percent of the original *)
   let frac r =
@@ -62,8 +63,11 @@ let test_table7_flow () =
   let c0 = prepared 404L in
   let c = Circuit.copy c0 in
   ignore (Procedure3.run ~options:{ Engine.default_options with Engine.k = 5 } c);
-  let r0 = Pdf_campaign.run ~max_pairs:4_000 ~stop_window:4_000 ~seed:66L c0 in
-  let r1 = Pdf_campaign.run ~max_pairs:4_000 ~stop_window:4_000 ~seed:66L c in
+  let cfg =
+    { Pdf_campaign.default with max_pairs = 4_000; stop_window = 4_000; seed = 66L }
+  in
+  let r0 = Pdf_campaign.exec cfg c0 in
+  let r1 = Pdf_campaign.exec cfg c in
   check bool_ "fewer or equal path faults" true
     (r1.Pdf_campaign.total_faults <= r0.Pdf_campaign.total_faults);
   (* coverage may not drop: detected/total ratio *)

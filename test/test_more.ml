@@ -50,7 +50,7 @@ let test_bench_input_as_gate_rejected () =
 
 let test_campaign_tiny_budget () =
   let c = c17 () in
-  let r = Campaign.run ~max_patterns:10 ~seed:3L c in
+  let r = Campaign.exec { Campaign.default with max_patterns = 10; seed = 3L } c in
   check int_ "exactly 10 patterns" 10 r.Campaign.patterns_applied;
   check bool_ "eff within budget" true (r.Campaign.last_effective_pattern <= 10)
 

@@ -1,0 +1,161 @@
+(* The sft.obs observability subsystem: atomic counters under domain pools,
+   span nesting, the JSON exporter, and the guarantee that enabling probes
+   never changes a computation's result. *)
+
+open Helpers
+
+(* Every test flips the global switch; leave the registry disabled and
+   empty for whoever runs next. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let test_counter_atomic_under_pool () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.obs.atomic" in
+      let h = Obs.Histogram.make "test.obs.atomic_h" in
+      let n = 100_000 in
+      Pool.with_pool ~domains:4 (fun pool ->
+          Pool.for_chunks pool ~chunk:97 ~n (fun ~slot:_ ~lo ~hi ->
+              for _ = lo to hi - 1 do
+                Obs.Counter.incr c
+              done;
+              Obs.Counter.add c (hi - lo);
+              Obs.Histogram.observe h (hi - lo)));
+      check int_ "no lost increments across 4 domains" (2 * n) (Obs.Counter.value c);
+      check int_ "histogram sum equals range total" n (Obs.Histogram.sum h))
+
+let test_disabled_probes_record_nothing () =
+  Obs.reset ();
+  Obs.disable ();
+  let c = Obs.Counter.make "test.obs.disabled" in
+  let h = Obs.Histogram.make "test.obs.disabled_h" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Obs.Histogram.observe h 7;
+  let r = Obs.Span.with_ "test.obs.disabled_span" (fun () -> 11) in
+  check int_ "span passes the result through" 11 r;
+  check int_ "disabled counter stays zero" 0 (Obs.Counter.value c);
+  check int_ "disabled histogram stays empty" 0 (Obs.Histogram.count h);
+  check bool_ "disabled span records nothing" true
+    (not
+       (List.exists
+          (fun s -> s.Obs.Span.name = "test.obs.disabled_span")
+          (Obs.Span.snapshot ())))
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      for _ = 1 to 3 do
+        Obs.Span.with_ "test.obs.outer" (fun () ->
+            Obs.Span.with_ "test.obs.inner" ignore;
+            Obs.Span.with_ "test.obs.inner" ignore)
+      done;
+      (* an exception must still close the span *)
+      (try Obs.Span.with_ "test.obs.outer" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      let outer =
+        List.find (fun s -> s.Obs.Span.name = "test.obs.outer") (Obs.Span.snapshot ())
+      in
+      check int_ "outer calls" 4 outer.Obs.Span.calls;
+      check bool_ "outer wall is non-negative" true (outer.Obs.Span.wall >= 0.);
+      match outer.Obs.Span.children with
+      | [ inner ] ->
+        check bool_ "inner nested under outer" true (inner.Obs.Span.name = "test.obs.inner");
+        check int_ "inner calls accumulate" 6 inner.Obs.Span.calls
+      | kids -> Alcotest.failf "expected one child, got %d" (List.length kids))
+
+let test_json_roundtrip () =
+  let v =
+    Obs_json.Obj
+      [
+        ("int", Obs_json.Int 42);
+        ("neg", Obs_json.Int (-7));
+        ("float", Obs_json.Float 0.125);
+        ("string", Obs_json.String "a \"quoted\"\nline\twith \\ escapes");
+        ("null", Obs_json.Null);
+        ("bools", Obs_json.List [ Obs_json.Bool true; Obs_json.Bool false ]);
+        ("nested", Obs_json.Obj [ ("empty_list", Obs_json.List []); ("empty_obj", Obs_json.Obj []) ]);
+      ]
+  in
+  (match Obs_json.parse (Obs_json.to_string v) with
+  | Ok v' -> check bool_ "print/parse round-trip" true (v = v')
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg);
+  (match Obs_json.parse "{\"a\": [1, 2" with
+  | Ok _ -> Alcotest.fail "truncated input parsed"
+  | Error _ -> ());
+  match Obs_json.parse "  {\"u\": \"\\u0041\\u00e9\"}  " with
+  | Ok (Obs_json.Obj [ ("u", Obs_json.String s) ]) ->
+    check bool_ "unicode escapes decode to UTF-8" true (s = "A\xc3\xa9")
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape parse failed"
+
+let test_export_schema () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test.obs.export" in
+      Obs.Counter.add c 5;
+      Obs.Histogram.observe (Obs.Histogram.make "test.obs.export_h") 3;
+      Obs.Span.with_ "test.obs.export_span" ignore;
+      match Obs_json.parse (Obs.Export.to_json ()) with
+      | Error msg -> Alcotest.failf "exporter emits invalid JSON: %s" msg
+      | Ok doc ->
+        check bool_ "schema_version is 1" true
+          (Obs_json.member "schema_version" doc = Some (Obs_json.Int 1));
+        check bool_ "enabled is true" true
+          (Obs_json.member "enabled" doc = Some (Obs_json.Bool true));
+        (match Obs_json.member "counters" doc with
+        | Some (Obs_json.Obj kvs) ->
+          check bool_ "counter value exported" true
+            (List.assoc_opt "test.obs.export" kvs = Some (Obs_json.Int 5))
+        | _ -> Alcotest.fail "counters object missing");
+        (match Obs_json.member "histograms" doc with
+        | Some (Obs_json.Obj kvs) -> (
+          match List.assoc_opt "test.obs.export_h" kvs with
+          | Some h ->
+            check bool_ "histogram count exported" true
+              (Obs_json.member "count" h = Some (Obs_json.Int 1));
+            check bool_ "histogram sum exported" true
+              (Obs_json.member "sum" h = Some (Obs_json.Int 3))
+          | None -> Alcotest.fail "histogram missing from export")
+        | _ -> Alcotest.fail "histograms object missing");
+        match Obs_json.member "trace" doc with
+        | Some (Obs_json.List spans) ->
+          check bool_ "span exported in trace" true
+            (List.exists
+               (fun s ->
+                 Obs_json.member "name" s
+                 = Some (Obs_json.String "test.obs.export_span"))
+               spans)
+        | _ -> Alcotest.fail "trace list missing")
+
+let test_campaign_unchanged_by_obs () =
+  let c = mixed () in
+  let cfg = { Campaign.default with max_patterns = 2_048; domains = 2; seed = 9L } in
+  Obs.disable ();
+  Obs.reset ();
+  let plain = Campaign.exec cfg (Circuit.copy c) in
+  let observed =
+    with_obs (fun () -> Campaign.exec cfg (Circuit.copy c))
+  in
+  check bool_ "instrumented campaign is bit-identical" true (plain = observed);
+  let via_config =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.reset ())
+      (fun () -> Campaign.exec { cfg with obs = true } (Circuit.copy c))
+  in
+  check bool_ "config-enabled obs is bit-identical too" true (plain = via_config)
+
+let suite =
+  [
+    ("counters: atomic under 4 domains", `Quick, test_counter_atomic_under_pool);
+    ("disabled probes record nothing", `Quick, test_disabled_probes_record_nothing);
+    ("spans: nesting and call counts", `Quick, test_span_nesting);
+    ("json: round-trip and errors", `Quick, test_json_roundtrip);
+    ("export: documented schema keys", `Quick, test_export_schema);
+    ("campaign: obs on = obs off", `Quick, test_campaign_unchanged_by_obs);
+  ]

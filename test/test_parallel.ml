@@ -70,11 +70,11 @@ let test_lowest_bit () =
 (* --- serial vs parallel bit-identity --------------------------------------- *)
 
 let campaign_eq ?(max_patterns = 256) ~seed c =
-  let r1 = Campaign.run ~max_patterns ~domains:1 ~seed c in
-  let r4 = Campaign.run ~max_patterns ~domains:4 ~seed c in
+  let cfg d = { Campaign.default with max_patterns; domains = d; seed } in
+  let r1 = Campaign.exec (cfg 1) c in
+  let r4 = Campaign.exec (cfg 4) c in
   r1 = r4
-  && Campaign.undetected ~max_patterns ~domains:1 ~seed c
-     = Campaign.undetected ~max_patterns ~domains:4 ~seed c
+  && Campaign.survivors (cfg 1) c = Campaign.survivors (cfg 4) c
 
 let test_campaign_parallel_identity () =
   check bool_ "c17" true (campaign_eq ~seed:11L (c17 ()));
@@ -96,8 +96,10 @@ let test_campaign_parallel_bench_files () =
       (campaign_eq ~max_patterns:128 ~seed:101L c)
 
 let pdf_eq ~seed c =
-  Pdf_campaign.run ~max_pairs:400 ~stop_window:80 ~domains:1 ~seed c
-  = Pdf_campaign.run ~max_pairs:400 ~stop_window:80 ~domains:4 ~seed c
+  let cfg d =
+    { Pdf_campaign.default with max_pairs = 400; stop_window = 80; domains = d; seed }
+  in
+  Pdf_campaign.exec (cfg 1) c = Pdf_campaign.exec (cfg 4) c
 
 let test_pdf_parallel_identity () =
   check bool_ "c17" true (pdf_eq ~seed:21L (c17 ()));
