@@ -4,7 +4,12 @@
      --quick        smaller pattern budgets / single K (for CI-style runs)
      --full         paper-scale budgets where feasible
      --only IDS     comma-separated subset of: figures,table1,table2,table3,
-                    table4,table5,table6,table7,ablations,micro
+                    table4,table5,table6,table7,cec,ablations,micro
+     --only-circuits NAMES
+                    comma-separated benchmark filter (e.g. irs1423,irs5378)
+                    applied to the per-circuit sections (table2-7, cec);
+                    lets small machines produce a complete, reproducible
+                    snapshot of the circuits they can carry
      --json FILE    write a machine-readable BENCH_results.json snapshot
                     (per-section wall clock, circuit sizes, parallel
                     speedups and the observability registry; schema in
@@ -23,6 +28,7 @@
 
 let quick = ref false
 let only : string list ref = ref []
+let only_circuits : string list ref = ref []
 let json_file : string option ref = ref None
 let domains = ref (Pool.default_domains ())
 let metrics : string option ref = ref None
@@ -39,6 +45,17 @@ let () =
       parse rest
     | "--only" :: ids :: rest ->
       only := String.split_on_char ',' ids;
+      parse rest
+    | "--only-circuits" :: names :: rest ->
+      only_circuits := String.split_on_char ',' names;
+      List.iter
+        (fun n ->
+          if not (List.exists (fun e -> e.Benchmarks.name = n) Benchmarks.all)
+          then begin
+            Printf.eprintf "error: unknown benchmark %s (see `sft list`)\n" n;
+            exit 2
+          end)
+        !only_circuits;
       parse rest
     | "--json" :: file :: rest ->
       json_file := Some file;
@@ -60,8 +77,9 @@ let () =
       (* A typo'd flag must not silently fall through to a full-scale run. *)
       Printf.eprintf
         "error: unknown argument %s\n\
-         usage: main.exe [--quick|--full] [--only IDS] [--json FILE] \
-         [--domains N] [--metrics text|json|FILE] [--trace]\n"
+         usage: main.exe [--quick|--full] [--only IDS] \
+         [--only-circuits NAMES] [--json FILE] [--domains N] \
+         [--metrics text|json|FILE] [--trace]\n"
         other;
       exit 2
   in
@@ -71,6 +89,12 @@ let () =
   if !metrics <> None || !trace || !json_file <> None then Obs.enable ()
 
 let enabled id = !only = [] || List.mem id !only
+
+let circuit_enabled e =
+  !only_circuits = [] || List.mem e.Benchmarks.name !only_circuits
+
+let bench_all () = List.filter circuit_enabled Benchmarks.all
+let bench_small () = List.filter circuit_enabled Benchmarks.small
 
 (* CPU time for the per-section progress lines (historic behaviour) ... *)
 let now () = Sys.time ()
@@ -310,7 +334,7 @@ let table2 () =
             Table.int p1; Table.int p2v; opt_int p3v;
           ]
       | None -> ())
-    Benchmarks.all;
+    (bench_all ());
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -356,7 +380,7 @@ let table3 () =
             Table.int g2; Table.int p2;
           ]
       | None -> ())
-    Benchmarks.small;
+    (bench_small ());
   Table.print t;
   print_endline
     "shape under test: RAR reduces gates more than Procedure 2 but tends to increase\n\
@@ -403,7 +427,7 @@ let table4 () =
         Table.add_row ta
           [ name; "paper"; Table.int l0; string_of_int d0; Table.int l2; string_of_int d2 ]
       | None -> ())
-    Benchmarks.small;
+    (bench_small ());
   Table.print ta;
   let tb =
     Table.create ~title:"Table 4(b) — technology mapping: RAR vs RAR + Procedure 2"
@@ -425,7 +449,7 @@ let table4 () =
         Table.add_row tb
           [ name; "paper"; Table.int l0; string_of_int d0; Table.int l2; string_of_int d2 ]
       | None -> ())
-    Benchmarks.small;
+    (bench_small ());
   Table.print tb;
   print_endline
     "shape under test: literal savings track the 2-input-gate savings and the\n\
@@ -474,7 +498,7 @@ let table5 () =
             Table.int g0; Table.int g1; Table.int p0; Table.int p1;
           ]
       | None -> ())
-    Benchmarks.all;
+    (bench_all ());
   Table.print t;
   print_endline "shape under test: paths drop more than under Procedure 2; gates may grow."
 
@@ -527,7 +551,7 @@ let table6 () =
             Table.int f1; string_of_int rem1; Table.int e1;
           ]
       | None -> ())
-    Benchmarks.all;
+    (bench_all ());
   Table.print t;
   print_endline
     "shape under test: the modified circuits remain (equally) random-pattern testable;\n\
@@ -542,6 +566,9 @@ let table7 () =
   let max_pairs = if !quick then 100_000 else 200_000 in
   Printf.printf "stop window: %s ineffective pairs (paper: 100,000)\n" (Table.int window);
   let e = Benchmarks.find "irs13207" in
+  if not (circuit_enabled e) then
+    print_endline "skipped (irs13207 excluded by --only-circuits)"
+  else begin
   let t =
     Table.create ~title:"Table 7 — robust PDF detection by random patterns, irs13207"
       ~columns:[ "base"; "which"; "eff"; "det/faults (base)"; "det/faults (after P2)" ]
@@ -576,6 +603,74 @@ let table7 () =
   print_endline
     "shape under test: the modification removes path faults faster than it removes\n\
      detected ones, so robust coverage rises on both bases."
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CEC — SAT-proved equivalence of the resynthesised circuits           *)
+(* ------------------------------------------------------------------ *)
+
+type cec_row = {
+  cc_circuit : string;
+  cc_pair : string;
+  cc_verdict : string;
+  cc_outputs : int;
+  cc_decisions : int;
+  cc_conflicts : int;
+  cc_seconds : float;
+}
+
+let json_cec : cec_row list ref = ref []
+
+(* Every table row above compares a resynthesised circuit against its
+   original; this section SAT-proves (Cec.check_stats, DESIGN.md §10) that
+   each of those pairs really computes the same function, so the size and
+   testability numbers describe the *same* circuit family. *)
+let cec () =
+  let t =
+    Table.create ~title:"Equivalence — SAT miter proofs for the resynthesised circuits"
+      ~columns:
+        [ "circuit"; "pair"; "verdict"; "outputs solved"; "decisions"; "conflicts"; "seconds" ]
+  in
+  let with_pool f =
+    if !domains <= 1 then f None
+    else Pool.with_pool ~domains:!domains (fun p -> f (Some p))
+  in
+  with_pool (fun pool ->
+      List.iter
+        (fun e ->
+          let name = e.Benchmarks.name in
+          let orig = original e in
+          let check pair c =
+            let (verdict, s), secs =
+              time_wall (fun () -> Cec.check_stats ?pool orig c)
+            in
+            let vs = Format.asprintf "%a" Cec.pp_verdict verdict in
+            let short = if String.length vs > 24 then String.sub vs 0 21 ^ "..." else vs in
+            json_cec :=
+              {
+                cc_circuit = name;
+                cc_pair = pair;
+                cc_verdict = short;
+                cc_outputs = s.Cec.outputs_checked;
+                cc_decisions = s.Cec.decisions;
+                cc_conflicts = s.Cec.conflicts;
+                cc_seconds = secs;
+              }
+              :: !json_cec;
+            Table.add_row t
+              [
+                name; pair; short;
+                Table.int s.Cec.outputs_checked; Table.int s.Cec.decisions;
+                Table.int s.Cec.conflicts; Printf.sprintf "%.2f" secs;
+              ]
+          in
+          check "orig-vs-p2" (proc2 e);
+          check "orig-vs-p3" (proc3 e))
+        (bench_all ()));
+  Table.print t;
+  print_endline
+    "every verdict must read `equivalent': resynthesis is function-preserving, and\n\
+     each row is an unconditional SAT proof of that for the tables above."
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                            *)
@@ -914,6 +1009,15 @@ let write_json file =
   Buffer.add_string b
     (Printf.sprintf "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full"));
   Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" !domains);
+  (* Record the --only-circuits scope so a committed snapshot says which
+     benchmarks it covers; null means the unrestricted circuit set. *)
+  Buffer.add_string b
+    (match !only_circuits with
+    | [] -> "  \"only_circuits\": null,\n"
+    | names ->
+      Printf.sprintf "  \"only_circuits\": [%s],\n"
+        (String.concat ", "
+           (List.map (fun n -> Printf.sprintf "\"%s\"" (json_escape n)) names)));
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n"
        (Domain.recommended_domain_count ()));
@@ -950,6 +1054,19 @@ let write_json file =
            r.sp_identical))
     (List.rev !json_speedups);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"cec\": [\n";
+  List.iteri
+    (fun i r ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"circuit\": \"%s\", \"pair\": \"%s\", \"verdict\": \"%s\", \
+            \"outputs_solved\": %d, \"decisions\": %d, \"conflicts\": %d, \
+            \"wall_seconds\": %.6f}"
+           (json_escape r.cc_circuit) (json_escape r.cc_pair)
+           (json_escape r.cc_verdict) r.cc_outputs r.cc_decisions r.cc_conflicts
+           r.cc_seconds))
+    (List.rev !json_cec);
+  Buffer.add_string b "\n  ],\n";
   (* The observability registry (counters, histograms, span trace) rides
      along in the snapshot; schema in DESIGN.md §9. *)
   Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n}\n" (Obs.Export.to_json ()));
@@ -968,6 +1085,7 @@ let () =
   section "table5" "Procedure 3: path minimisation" table5;
   section "table6" "random-pattern stuck-at testability" table6;
   section "table7" "robust PDF random-pattern campaigns" table7;
+  section "cec" "SAT equivalence proofs of the resynthesised circuits" cec;
   section "ablations" "design-choice ablations" ablations;
   section "micro" "Bechamel micro-benchmarks" micro;
   (match !json_file with

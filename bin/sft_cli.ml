@@ -257,6 +257,78 @@ let optimize_cmd =
       const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
       $ verify $ dontcares $ units $ domains_arg $ output_arg $ metrics_arg $ trace_arg)
 
+(* --- check ----------------------------------------------------------------- *)
+
+let check_cmd =
+  let run file_a file_b budget domains metrics trace =
+    let code =
+      with_obs metrics trace (fun ppf ->
+          let a = load ~file:(Some file_a) ~bench:None in
+          let b = load ~file:(Some file_b) ~bench:None in
+          let result =
+            let domains = Pool.domains_of_flag domains in
+            if domains <= 1 then Cec.check_stats ~budget a b
+            else
+              Pool.with_pool ~domains (fun pool ->
+                  Cec.check_stats ~budget ~pool a b)
+          in
+          match result with
+          | exception Cec.Interface_mismatch msg ->
+            die "%s vs %s: %s" file_a file_b msg
+          | verdict, s ->
+            Format.fprintf ppf
+              "%s vs %s: %a (%d outputs solved, %d vars, %d clauses, %d \
+               decisions, %d conflicts)@."
+              file_a file_b Cec.pp_verdict verdict s.Cec.outputs_checked
+              s.Cec.vars s.Cec.clauses s.Cec.decisions s.Cec.conflicts;
+            (match verdict with
+            | Cec.Counterexample v ->
+              let ia = Circuit.inputs a in
+              Array.iteri
+                (fun i bit ->
+                  let n =
+                    match Circuit.node_name a ia.(i) with
+                    | Some n -> n
+                    | None -> Printf.sprintf "pi%d" i
+                  in
+                  Format.fprintf ppf "  %s = %d@." n (Bool.to_int bit))
+                v;
+              1
+            | Cec.Equivalent -> 0
+            | Cec.Unknown _ -> 2))
+    in
+    if code <> 0 then exit code
+  in
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"A" ~doc:"First .bench netlist ($(b,-) reads standard input).")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"B" ~doc:"Second .bench netlist.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Cec.default_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"SAT conflict budget per output miter; exhausted budget reports unknown.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Prove two netlists functionally equivalent with a SAT miter \
+          (DESIGN.md \xc2\xa710). Inputs and outputs are matched by name when both \
+          sides carry complete unique name sets, positionally otherwise. Exit \
+          status: 0 equivalent, 1 counterexample (printed as an input \
+          assignment), 2 budget exhausted.")
+    Term.(
+      const run $ file_a $ file_b $ budget $ domains_arg $ metrics_arg $ trace_arg)
+
 (* --- rar ------------------------------------------------------------------ *)
 
 let rar_cmd =
@@ -464,6 +536,7 @@ let () =
         list_cmd;
         gen_cmd;
         optimize_cmd;
+        check_cmd;
         rar_cmd;
         redundancy_cmd;
         fsim_cmd;

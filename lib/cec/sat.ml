@@ -1,0 +1,479 @@
+(* CDCL SAT solver: two-watched literals, first-UIP learning, VSIDS-lite
+   activities on a binary max-heap, phase saving, Luby restarts. *)
+
+let lit v = 2 * v
+let neg l = l lxor 1
+let var_of l = l lsr 1
+let is_neg l = l land 1 = 1
+
+type clause = int array
+
+type t = {
+  (* per-variable state, indexed by var *)
+  mutable assign : int array;  (* -1 unassigned, 0 false, 1 true *)
+  mutable level : int array;
+  mutable reason : int array;  (* clause index, -1 for decisions/none *)
+  mutable activity : float array;
+  mutable polarity : bool array;  (* saved phase *)
+  mutable seen : bool array;  (* conflict-analysis scratch *)
+  mutable heap_pos : int array;  (* var -> heap index, -1 if absent *)
+  mutable nvars : int;
+  (* clause database; learned clauses live after [nproblem] *)
+  mutable clauses : clause array;
+  mutable nclauses : int;
+  mutable nproblem : int;
+  (* watch lists, indexed by literal *)
+  mutable watches : int array array;
+  mutable watch_len : int array;
+  (* binary max-heap of variables ordered by activity *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  (* assignment trail *)
+  mutable trail : int array;
+  mutable trail_size : int;
+  mutable trail_lim : int array;  (* trail size at each decision level *)
+  mutable levels : int;  (* current decision level *)
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable ok : bool;  (* false once a top-level contradiction is known *)
+  mutable solving : bool;
+  mutable n_decisions : int;
+  mutable n_conflicts : int;
+  mutable n_propagations : int;
+}
+
+let create () =
+  {
+    assign = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    activity = Array.make 16 0.0;
+    polarity = Array.make 16 false;
+    seen = Array.make 16 false;
+    heap_pos = Array.make 16 (-1);
+    nvars = 0;
+    clauses = Array.make 64 [||];
+    nclauses = 0;
+    nproblem = 0;
+    watches = Array.make 32 [||];
+    watch_len = Array.make 32 0;
+    heap = Array.make 16 0;
+    heap_size = 0;
+    trail = Array.make 16 0;
+    trail_size = 0;
+    trail_lim = Array.make 16 0;
+    levels = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    ok = true;
+    solving = false;
+    n_decisions = 0;
+    n_conflicts = 0;
+    n_propagations = 0;
+  }
+
+let num_vars t = t.nvars
+let num_clauses t = t.nproblem
+let decisions t = t.n_decisions
+let conflicts t = t.n_conflicts
+let propagations t = t.n_propagations
+
+(* --- growable array helpers ---------------------------------------------- *)
+
+let grow_int a n fill =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) fill in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_float a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) 0.0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_bool a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) false in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_arr a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) [||] in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+(* --- activity heap -------------------------------------------------------- *)
+
+let heap_swap t i j =
+  let vi = t.heap.(i) and vj = t.heap.(j) in
+  t.heap.(i) <- vj;
+  t.heap.(j) <- vi;
+  t.heap_pos.(vi) <- j;
+  t.heap_pos.(vj) <- i
+
+let rec percolate_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.activity.(t.heap.(i)) > t.activity.(t.heap.(parent)) then begin
+      heap_swap t i parent;
+      percolate_up t parent
+    end
+  end
+
+let rec percolate_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_size && t.activity.(t.heap.(l)) > t.activity.(t.heap.(!best))
+  then best := l;
+  if r < t.heap_size && t.activity.(t.heap.(r)) > t.activity.(t.heap.(!best))
+  then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    percolate_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap <- grow_int t.heap (t.heap_size + 1) 0;
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    percolate_up t (t.heap_size - 1)
+  end
+
+(* Pop the highest-activity variable (present or not: lazily skips nothing —
+   every unassigned variable is kept in the heap). *)
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  t.heap_pos.(v) <- -1;
+  if t.heap_size > 0 then begin
+    let last = t.heap.(t.heap_size) in
+    t.heap.(0) <- last;
+    t.heap_pos.(last) <- 0;
+    percolate_down t 0
+  end;
+  v
+
+let rescale_activities t =
+  for v = 0 to t.nvars - 1 do
+    t.activity.(v) <- t.activity.(v) *. 1e-100
+  done;
+  t.var_inc <- t.var_inc *. 1e-100
+
+let bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then rescale_activities t;
+  if t.heap_pos.(v) >= 0 then percolate_up t t.heap_pos.(v)
+
+let decay t = t.var_inc <- t.var_inc /. 0.95
+
+(* --- variables and clauses ------------------------------------------------ *)
+
+let new_var t =
+  let v = t.nvars in
+  let n = v + 1 in
+  t.assign <- grow_int t.assign n (-1);
+  t.level <- grow_int t.level n 0;
+  t.reason <- grow_int t.reason n (-1);
+  t.activity <- grow_float t.activity n;
+  t.polarity <- grow_bool t.polarity n;
+  t.seen <- grow_bool t.seen n;
+  t.heap_pos <- grow_int t.heap_pos n (-1);
+  t.watches <- grow_arr t.watches (2 * n);
+  t.watch_len <- grow_int t.watch_len (2 * n) 0;
+  t.assign.(v) <- -1;
+  t.reason.(v) <- -1;
+  t.heap_pos.(v) <- -1;
+  t.activity.(v) <- 0.0;
+  t.polarity.(v) <- false;
+  t.seen.(v) <- false;
+  t.watches.(2 * v) <- [||];
+  t.watches.((2 * v) + 1) <- [||];
+  t.watch_len.(2 * v) <- 0;
+  t.watch_len.((2 * v) + 1) <- 0;
+  t.nvars <- n;
+  heap_insert t v;
+  v
+
+(* Value of a literal: -1 unassigned, 0 false, 1 true. *)
+let lit_value t l =
+  let a = t.assign.(var_of l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let watch t l ci =
+  let len = t.watch_len.(l) in
+  if Array.length t.watches.(l) <= len then
+    t.watches.(l) <- grow_int t.watches.(l) (max 4 (len + 1)) 0;
+  t.watches.(l).(len) <- ci;
+  t.watch_len.(l) <- len + 1
+
+let store_clause t c =
+  let ci = t.nclauses in
+  t.clauses <- grow_arr t.clauses (ci + 1);
+  t.clauses.(ci) <- c;
+  t.nclauses <- ci + 1;
+  watch t c.(0) ci;
+  watch t c.(1) ci;
+  ci
+
+let enqueue t l reason =
+  let v = var_of l in
+  t.assign.(v) <- 1 lxor (l land 1);
+  t.level.(v) <- t.levels;
+  t.reason.(v) <- reason;
+  t.trail <- grow_int t.trail (t.trail_size + 1) 0;
+  t.trail.(t.trail_size) <- l;
+  t.trail_size <- t.trail_size + 1
+
+let add_clause t lits =
+  if t.solving then invalid_arg "Sat.add_clause: solver already started";
+  if t.ok then begin
+    (* Simplify under the top-level assignment: drop false literals and
+       duplicates, discard satisfied clauses and tautologies. *)
+    let lits = Array.to_list lits in
+    let lits = List.sort_uniq compare lits in
+    let taut =
+      List.exists (fun l -> List.memq (neg l) lits) lits
+      || List.exists (fun l -> lit_value t l = 1) lits
+    in
+    if not taut then begin
+      let lits = List.filter (fun l -> lit_value t l <> 0) lits in
+      match lits with
+      | [] -> t.ok <- false
+      | [ l ] -> enqueue t l (-1) (* top-level unit *)
+      | _ ->
+        let c = Array.of_list lits in
+        let ci = store_clause t c in
+        t.nproblem <- ci + 1
+    end
+  end
+
+(* --- propagation ---------------------------------------------------------- *)
+
+(* Propagate everything on the trail; returns the index of a conflicting
+   clause, or -1. *)
+let propagate t =
+  let confl = ref (-1) in
+  while !confl < 0 && t.qhead < t.trail_size do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    t.n_propagations <- t.n_propagations + 1;
+    let false_lit = neg p in
+    let ws = t.watches.(false_lit) in
+    let len = t.watch_len.(false_lit) in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < len do
+      let ci = ws.(!i) in
+      incr i;
+      let c = t.clauses.(ci) in
+      (* Make sure the false literal sits in slot 1. *)
+      if c.(0) = false_lit then begin
+        c.(0) <- c.(1);
+        c.(1) <- false_lit
+      end;
+      if lit_value t c.(0) = 1 then begin
+        (* Clause already satisfied: keep the watch. *)
+        ws.(!j) <- ci;
+        incr j
+      end
+      else begin
+        (* Look for a non-false replacement watch. *)
+        let n = Array.length c in
+        let k = ref 2 in
+        while !k < n && lit_value t c.(!k) = 0 do incr k done;
+        if !k < n then begin
+          c.(1) <- c.(!k);
+          c.(!k) <- false_lit;
+          watch t c.(1) ci (* watch moved: drop from this list *)
+        end
+        else begin
+          (* Unit or conflicting. *)
+          ws.(!j) <- ci;
+          incr j;
+          if lit_value t c.(0) = 0 then begin
+            (* Conflict: keep the remaining watches and stop. *)
+            while !i < len do
+              ws.(!j) <- ws.(!i);
+              incr j;
+              incr i
+            done;
+            t.qhead <- t.trail_size;
+            confl := ci
+          end
+          else enqueue t c.(0) ci
+        end
+      end
+    done;
+    t.watch_len.(false_lit) <- !j
+  done;
+  !confl
+
+(* --- conflict analysis ---------------------------------------------------- *)
+
+let backjump t lvl =
+  if t.levels > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_size - 1 downto bound do
+      let v = var_of t.trail.(i) in
+      t.polarity.(v) <- t.assign.(v) = 1;
+      t.assign.(v) <- -1;
+      t.reason.(v) <- -1;
+      heap_insert t v
+    done;
+    t.trail_size <- bound;
+    t.qhead <- bound;
+    t.levels <- lvl
+  end
+
+(* First-UIP learning: returns the learned clause (asserting literal first)
+   and the backjump level. *)
+let analyze t confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl in
+  let index = ref (t.trail_size - 1) in
+  let continue = ref true in
+  while !continue do
+    let c = t.clauses.(!confl) in
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = var_of q in
+          if (not t.seen.(v)) && t.level.(v) > 0 then begin
+            t.seen.(v) <- true;
+            bump t v;
+            if t.level.(v) >= t.levels then incr path
+            else learnt := q :: !learnt
+          end
+        end)
+      c;
+    (* Next trail literal that contributed to the conflict. *)
+    while not t.seen.(var_of t.trail.(!index)) do decr index done;
+    let q = t.trail.(!index) in
+    decr index;
+    let v = var_of q in
+    t.seen.(v) <- false;
+    decr path;
+    if !path = 0 then begin
+      p := neg q;
+      continue := false
+    end
+    else begin
+      p := q;
+      confl := t.reason.(v)
+    end
+  done;
+  let rest = Array.of_list !learnt in
+  Array.iter (fun q -> t.seen.(var_of q) <- false) rest;
+  (* Backjump to the second-highest level in the clause; place a literal of
+     that level in slot 1 so the watches are correct after backjumping. *)
+  let blevel = ref 0 in
+  let pos = ref (-1) in
+  Array.iteri
+    (fun i q ->
+      let l = t.level.(var_of q) in
+      if l > !blevel then begin
+        blevel := l;
+        pos := i
+      end)
+    rest;
+  if !pos > 0 then begin
+    let tmp = rest.(0) in
+    rest.(0) <- rest.(!pos);
+    rest.(!pos) <- tmp
+  end;
+  (Array.append [| !p |] rest, !blevel)
+
+(* --- search --------------------------------------------------------------- *)
+
+type outcome =
+  | Sat
+  | Unsat
+  | Unknown
+
+(* [luby i] is the i-th element (0-based) of the Luby restart sequence
+   1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (MiniSat's iterative formulation). *)
+let luby i =
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref i in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let decide t =
+  let v = ref (-1) in
+  while !v < 0 && t.heap_size > 0 do
+    let cand = heap_pop t in
+    if t.assign.(cand) < 0 then v := cand
+  done;
+  if !v < 0 then false
+  else begin
+    t.n_decisions <- t.n_decisions + 1;
+    t.trail_lim <- grow_int t.trail_lim (t.levels + 1) 0;
+    t.trail_lim.(t.levels) <- t.trail_size;
+    t.levels <- t.levels + 1;
+    let l = if t.polarity.(!v) then lit !v else neg (lit !v) in
+    enqueue t l (-1);
+    true
+  end
+
+let solve ?budget t =
+  t.solving <- true;
+  if not t.ok then Unsat
+  else begin
+    let limit = match budget with None -> max_int | Some b -> b in
+    let result = ref None in
+    let restart_no = ref 0 in
+    let restart_left = ref (100 * luby 0) in
+    while !result = None do
+      let confl = propagate t in
+      if confl >= 0 then begin
+        t.n_conflicts <- t.n_conflicts + 1;
+        decr restart_left;
+        if t.levels = 0 then begin
+          t.ok <- false;
+          result := Some Unsat
+        end
+        else if t.n_conflicts >= limit then result := Some Unknown
+        else begin
+          let learnt, blevel = analyze t confl in
+          backjump t blevel;
+          (if Array.length learnt = 1 then enqueue t learnt.(0) (-1)
+           else begin
+             let ci = store_clause t learnt in
+             enqueue t learnt.(0) ci
+           end);
+          decay t
+        end
+      end
+      else if !restart_left <= 0 then begin
+        incr restart_no;
+        restart_left := 100 * luby !restart_no;
+        backjump t 0
+      end
+      else if not (decide t) then result := Some Sat
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value t v = t.assign.(v) = 1

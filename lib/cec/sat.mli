@@ -1,0 +1,64 @@
+(** Minimal CDCL SAT solver for combinational equivalence checking.
+
+    A self-contained conflict-driven clause-learning solver in the MiniSat
+    lineage: two-watched-literal propagation, first-UIP conflict analysis
+    with non-chronological backjumping, VSIDS-style decaying variable
+    activities (binary max-heap), phase saving and Luby-sequence restarts.
+    No preprocessing and no learned-clause deletion — the CNFs produced by
+    {!Tseitin} for resynthesis miters are small and heavily structurally
+    shared, and the conflict budget bounds memory growth.
+
+    Variables are dense non-negative integers handed out by {!new_var}.
+    Literals are integers [2*v] (positive) and [2*v + 1] (negated); use
+    {!lit}, {!neg}, {!var_of} and {!is_neg} instead of relying on the
+    encoding. The solver is single-owner mutable state: one [t] per check,
+    not shared across domains. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val lit : int -> int
+(** Positive literal of a variable. *)
+
+val neg : int -> int
+(** Negation of a literal (involutive). *)
+
+val var_of : int -> int
+(** Variable underlying a literal. *)
+
+val is_neg : int -> bool
+(** Whether the literal is the negated phase of its variable. *)
+
+val add_clause : t -> int array -> unit
+(** Add a clause (a disjunction of literals). Clauses may only be added
+    before {!solve} is called. Tautologies are dropped, duplicate literals
+    merged; an empty clause (or a contradicting pair of unit clauses) makes
+    the instance trivially unsatisfiable. *)
+
+type outcome =
+  | Sat  (** A satisfying assignment exists; read it with {!value}. *)
+  | Unsat  (** Proved unsatisfiable. *)
+  | Unknown  (** Conflict budget exhausted before a verdict. *)
+
+val solve : ?budget:int -> t -> outcome
+(** Run the CDCL loop. [budget] bounds the total number of conflicts
+    (default: unlimited). After [Sat] every variable is assigned and
+    {!value} reads the model; after [Unsat] or [Unknown] the solver state
+    is unspecified and the instance should be discarded. *)
+
+val value : t -> int -> bool
+(** Model value of a variable (meaningful only after {!solve} = [Sat]). *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+(** Problem clauses added so far (learned clauses excluded). *)
+
+val decisions : t -> int
+val conflicts : t -> int
+val propagations : t -> int
+(** Cumulative search statistics across all {!solve} calls on this
+    solver. *)

@@ -1,0 +1,46 @@
+(** Tseitin CNF encoding of netlists, with structural hashing.
+
+    Translates {!Circuit.t} logic into clauses over a {!Sat} solver, one
+    definitional variable per distinct gate. Encoding is literal-based, so
+    inverting kinds are free: [Not]/[Nand]/[Nor]/[Xnor] return the negation
+    of the underlying [Buf]/[And]/[Or]/[Xor] literal without extra variables
+    or clauses. [Or] is canonicalised to [And] by De Morgan.
+
+    Structural hashing keys every [And]/[Xor] node on its (sorted, constant-
+    folded, deduplicated) fanin literals: encoding two circuits into the same
+    environment collapses their shared logic to shared variables. This is
+    what makes per-replacement miters in the resynthesis engine cheap — the
+    untouched cone of both snapshots maps to the {e same} literals and drops
+    out of the equivalence problem entirely. *)
+
+type env
+(** An encoding environment: a solver plus the structural-hash table and the
+    designated constant-true literal. *)
+
+val create : Sat.t -> env
+(** Fresh environment over [sat]; allocates the constant-true variable and
+    asserts it with a unit clause. *)
+
+val ltrue : env -> int
+(** The literal that is true in every model of the environment. *)
+
+val lfalse : env -> int
+(** Negation of {!ltrue}. *)
+
+val and_lits : env -> int list -> int
+(** Conjunction of literals: folds constants, deduplicates, recognises
+    complementary pairs, then hashes. The empty conjunction is {!ltrue}. *)
+
+val or_lits : env -> int list -> int
+(** Disjunction, via De Morgan on {!and_lits}; the empty disjunction is
+    {!lfalse}. *)
+
+val xor_lits : env -> int list -> int
+(** Parity of the literals (the netlist semantics of k-ary [Xor]). *)
+
+val encode : env -> pi_lits:int array -> Circuit.t -> int array
+(** Encode a whole circuit: [pi_lits.(j)] is the literal driving primary
+    input [j] (indexed like {!Circuit.inputs}); the result holds one literal
+    per primary output (indexed like {!Circuit.outputs}). The circuit is not
+    modified. Raises [Invalid_argument] if [pi_lits] is shorter than the
+    circuit's input list. *)

@@ -220,17 +220,3 @@ let exec cfg c =
     last_effective_pattern = !last_effective;
     patterns_applied = !applied;
   }
-
-(* Deprecated optional-argument wrapper, kept for one release. *)
-let run ?(max_pairs = 2_000_000) ?(stop_window = 20_000)
-    ?(max_marked_paths = 50_000_000) ?domains ~seed c =
-  exec
-    {
-      max_pairs;
-      stop_window;
-      max_marked_paths;
-      domains = (match domains with Some d -> max 1 d | None -> 0);
-      seed;
-      obs = false;
-    }
-    c

@@ -53,13 +53,3 @@ val exec : config -> Circuit.t -> result
     [pdf.pairs_effective], [pdf.faults_detected]; histogram
     [pdf.effective_gap] (pairs elapsed since the previous effective pair,
     observed at each effective pair); span [pdf.campaign]. *)
-
-val run :
-  ?max_pairs:int ->
-  ?stop_window:int ->
-  ?max_marked_paths:int ->
-  ?domains:int ->
-  seed:int64 ->
-  Circuit.t ->
-  result
-  [@@deprecated "Use Pdf_campaign.exec with a Pdf_campaign.config record."]

@@ -197,20 +197,3 @@ let survivors cfg c =
     if alive.(i) then acc := fault_list.(i) :: !acc
   done;
   !acc
-
-(* Deprecated optional-argument wrappers, kept for one release. *)
-
-let config_of ?faults ?(max_patterns = 1_000_000) ?domains ~seed () =
-  {
-    faults;
-    max_patterns;
-    domains = (match domains with Some d -> max 1 d | None -> 0);
-    seed;
-    obs = false;
-  }
-
-let run ?faults ?max_patterns ?domains ~seed c =
-  exec (config_of ?faults ?max_patterns ?domains ~seed ()) c
-
-let undetected ?faults ?max_patterns ?domains ~seed c =
-  survivors (config_of ?faults ?max_patterns ?domains ~seed ()) c

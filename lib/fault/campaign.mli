@@ -50,21 +50,3 @@ val exec : config -> Circuit.t -> result
 
 val survivors : config -> Circuit.t -> Fault.t list
 (** The faults left undetected by the same campaign as {!exec}. *)
-
-val run :
-  ?faults:Fault.t list ->
-  ?max_patterns:int ->
-  ?domains:int ->
-  seed:int64 ->
-  Circuit.t ->
-  result
-  [@@deprecated "Use Campaign.exec with a Campaign.config record."]
-
-val undetected :
-  ?faults:Fault.t list ->
-  ?max_patterns:int ->
-  ?domains:int ->
-  seed:int64 ->
-  Circuit.t ->
-  Fault.t list
-  [@@deprecated "Use Campaign.survivors with a Campaign.config record."]

@@ -14,6 +14,8 @@ type cube = {
     [x_(j+1)]. *)
 
 val cube_literals : cube -> int
+(** Number of literals (support size) of the cube. *)
+
 val cube_covers : cube -> int -> bool
 (** Does the cube contain the minterm? *)
 
@@ -31,6 +33,7 @@ val literals : cube list -> int
 (** Total literal count of a cover. *)
 
 val to_truthtable : int -> cube list -> Truthtable.t
+(** [to_truthtable n cover] is the [n]-input disjunction of the cubes. *)
 
 val to_circuit : ?name:string -> int -> cube list -> Circuit.t
 (** AND-OR netlist with one shared inverter per complemented variable; a

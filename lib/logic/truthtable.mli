@@ -8,26 +8,43 @@
 type t
 
 val arity : t -> int
+(** Number of input variables [n]. *)
+
 val create : int -> (int -> bool) -> t
 (** [create n f] tabulates [f] over minterms [0 .. 2^n - 1]. *)
 
 val const : int -> bool -> t
+(** [const n v] is the [n]-input constant-[v] function. *)
+
 val var : int -> int -> t
 (** [var n i] is the projection on variable [x_i] (1-based, MSB-first) as a
     function of [n] inputs. *)
 
 val get : t -> int -> bool
+(** Function value on a minterm. *)
+
 val set : t -> int -> bool -> t
+(** Functional update of one minterm (tables are immutable values). *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
+(** Total order on same-arity tables, for use in sorted containers. *)
+
 val hash : t -> int
 
 val of_minterms : int -> int list -> t
+(** [of_minterms n ms] is the [n]-input function whose ON-set is [ms]. *)
+
 val minterms : t -> int list
 (** Increasing order. *)
 
 val popcount : t -> int
+(** ON-set size. *)
+
 val is_const : t -> bool option
+(** [Some v] when the function is the constant [v]. *)
+
+(** {1 Bitwise combinators} — operands must have equal arity. *)
 
 val lnot : t -> t
 val land_ : t -> t -> t
@@ -65,3 +82,4 @@ val to_string : t -> string
 (** Hex string, MSB minterm first; for debugging and hashing. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}. *)

@@ -15,11 +15,16 @@ type t
 (** {1 Construction} *)
 
 val create : ?name:string -> unit -> t
+(** Empty circuit. [name] labels outputs such as .bench files. *)
+
 val name : t -> string
 val set_name : t -> string -> unit
 
 val add_input : ?name:string -> t -> int
+(** Append a primary input; returns its node id. *)
+
 val add_const : ?name:string -> t -> bool -> int
+(** Constant-0 or constant-1 node; returns its node id. *)
 
 val add_gate : ?name:string -> t -> Gate.kind -> int array -> int
 (** Fanins must be existing live node ids. Arity is checked. *)
@@ -33,12 +38,19 @@ val size : t -> int
 (** Upper bound on node ids (tombstones included). *)
 
 val is_alive : t -> int -> bool
+(** False for tombstoned (deleted) ids. *)
+
 val kind : t -> int -> Gate.kind
+(** The node's gate kind ({!Gate.Input} and the constants included). *)
+
 val fanins : t -> int -> int array
 (** The returned array must not be mutated. *)
 
 val fanin_count : t -> int -> int
+
 val node_name : t -> int -> string option
+(** The optional symbolic name the node was created with. *)
+
 val inputs : t -> int array
 (** Live primary inputs, in declaration order. Fresh array. *)
 
@@ -46,9 +58,14 @@ val outputs : t -> int array
 (** Primary-output node ids, in declaration order. Fresh array. *)
 
 val output_names : t -> string array
+(** One entry per output, [""] where unnamed; same order as {!outputs}. *)
+
 val num_inputs : t -> int
 val num_outputs : t -> int
+
 val num_live_nodes : t -> int
+(** Inputs, constants and gates that are not tombstoned. *)
+
 val num_gates : t -> int
 (** Live nodes that are neither inputs nor constants. *)
 
@@ -59,8 +76,13 @@ val fanouts : t -> int -> int list
 (** Gate ids reading this node (each listed once per reading gate pin). *)
 
 val fanout_degree : t -> int -> int
+(** Number of gate pins reading this node (primary outputs not counted). *)
+
 val is_output : t -> int -> bool
+(** Does any primary output designate this node? *)
+
 val iter_live : t -> (int -> unit) -> unit
+(** Apply to every live node id in increasing id order. *)
 
 val topo_order : t -> int array
 (** Live nodes sorted inputs-to-outputs (fanins before fanouts). Raises
@@ -69,7 +91,10 @@ val topo_order : t -> int array
 (** {1 Mutation} *)
 
 val set_kind : t -> int -> Gate.kind -> unit
+(** Change a gate's kind; the new kind must accept the current arity. *)
+
 val set_fanins : t -> int -> int array -> unit
+(** Rewire a gate's fanins; the new arity must suit the current kind. *)
 
 val replace_node : t -> int -> Gate.kind -> int array -> unit
 (** Atomically rewrite a node's kind and fanins (arity checked against the
@@ -90,6 +115,7 @@ val sweep : t -> int
 (** {1 Copying} *)
 
 val copy : t -> t
+(** Deep copy; node ids are preserved (tombstones included). *)
 
 val overwrite : t -> with_:t -> unit
 (** Replace the whole contents of a circuit with (a copy of) another's.
@@ -101,3 +127,4 @@ val compact : t -> t * int array
     old ids to new ids ([-1] for dead nodes). *)
 
 val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: inputs, outputs, gates, equivalent 2-input gates. *)

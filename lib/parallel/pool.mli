@@ -4,7 +4,7 @@
 
     A pool represents a fixed budget of [domains] computation domains: the
     calling domain (slot 0) plus [domains - 1] spawned worker domains
-    (slots 1 .. domains-1). Work is described as a range [0, n) split into
+    (slots 1 .. domains-1). Work is described as a range [0 .. n-1] split into
     chunks; idle participants grab chunks from a shared atomic counter, so
     load balancing is dynamic but the mapping from index to result is
     deterministic — results are merged back in index order regardless of
@@ -57,7 +57,7 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
 
 val for_chunks : t -> ?chunk:int -> n:int -> (slot:int -> lo:int -> hi:int -> unit) -> unit
-(** [for_chunks t ~n body] covers the range [0, n) with disjoint chunks
+(** [for_chunks t ~n body] covers the range [0 .. n-1] with disjoint chunks
     [body ~slot ~lo ~hi] executed across the pool. [slot] identifies the
     executing participant ([0 <= slot < domains t]); a given slot is only
     ever active in one chunk at a time, so per-slot scratch state needs no

@@ -11,7 +11,7 @@ val create : int64 -> t
 val copy : t -> t
 val next64 : t -> int64
 val int : t -> int -> int
-(** Uniform in [0, bound), bound > 0. *)
+(** Uniform over [0 .. bound - 1]; [bound] must be positive. *)
 
 val bool : t -> bool
 val shuffle : t -> 'a array -> unit

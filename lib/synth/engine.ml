@@ -2,6 +2,11 @@ type objective =
   | Gates
   | Paths
 
+type verify =
+  [ `Off
+  | `Sampled of int
+  | `Full ]
+
 type options = {
   k : int;
   max_candidates : int;
@@ -16,6 +21,8 @@ type options = {
   max_units : int;
   domains : int;
   obs : bool;
+  verify : verify;
+  inject_unsound : int;
 }
 
 let default_options =
@@ -33,6 +40,8 @@ let default_options =
     max_units = 1;
     domains = 0;
     obs = false;
+    verify = `Sampled 8;
+    inject_unsound = 0;
   }
 
 (* Observability probes. [cut_size_h] and [realised_c] fire inside worker
@@ -43,6 +52,15 @@ let realised_c = Obs.Counter.make ~help:"candidates realised as units" "engine.r
 let accepted_c = Obs.Counter.make ~help:"replacements spliced in" "engine.accepted"
 let cut_size_h = Obs.Histogram.make ~help:"K-cut input counts" "engine.cut_size"
 
+let verify_checks_c =
+  Obs.Counter.make ~help:"whole-circuit CEC miter checks" "engine.verify_checks"
+
+let verify_refused_c =
+  Obs.Counter.make ~help:"replacements rolled back as unsound" "engine.verify_refused"
+
+let verify_unknown_c =
+  Obs.Counter.make ~help:"CEC checks hitting the conflict budget" "engine.verify_unknown"
+
 type stats = {
   passes : int;
   replacements : int;
@@ -50,12 +68,19 @@ type stats = {
   gates_after : int;
   paths_before : int;
   paths_after : int;
+  verify_checks : int;
+  verify_refused : int;
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d passes, %d replacements; gates %d -> %d; paths %d -> %d" s.passes
-    s.replacements s.gates_before s.gates_after s.paths_before s.paths_after
+    s.replacements s.gates_before s.gates_after s.paths_before s.paths_after;
+  if s.verify_checks > 0 then
+    Format.fprintf ppf "; %d proved%s" s.verify_checks
+      (if s.verify_refused > 0 then
+         Printf.sprintf " (%d REFUSED as unsound)" s.verify_refused
+       else "")
 
 (* Paths on the root if the subcircuit is replaced by the unit:
    sum over inputs of N_p(input) * K_p(input). *)
@@ -185,6 +210,34 @@ let better objective ~current_paths a b =
     | Gates -> a.gain > b.gain || (a.gain = b.gain && a.new_paths < b.new_paths)
     | Paths -> a.new_paths < b.new_paths)
 
+(* Whole-circuit SAT verification of accepted replacements (DESIGN.md §10).
+   [attempts] counts accepted splices across passes so a `Sampled cadence is
+   per optimisation run, not per pass; the first acceptance is always
+   proved. *)
+type verify_state = {
+  mutable attempts : int;
+  mutable checks : int;
+  mutable refused : int;
+}
+
+let should_verify (verify : verify) idx =
+  match verify with
+  | `Off -> false
+  | `Full -> true
+  | `Sampled n -> n > 0 && idx mod n = 0
+
+(* Kind with the complemented function, for the [inject_unsound] test hook. *)
+let inverted_kind = function
+  | Gate.Buf -> Some Gate.Not
+  | Gate.Not -> Some Gate.Buf
+  | Gate.And -> Some Gate.Nand
+  | Gate.Nand -> Some Gate.And
+  | Gate.Or -> Some Gate.Nor
+  | Gate.Nor -> Some Gate.Or
+  | Gate.Xor -> Some Gate.Xnor
+  | Gate.Xnor -> Some Gate.Xor
+  | Gate.Input | Gate.Const0 | Gate.Const1 -> None
+
 let is_gate c id =
   Circuit.is_alive c id
   &&
@@ -193,7 +246,7 @@ let is_gate c id =
   | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
   | Gate.Xnor -> true
 
-let run_pass ?pool objective opts c =
+let run_pass ?pool objective opts vstate c =
   let labels = Paths.labels c in
   let marked = Array.make (Circuit.size c) false in
   Array.iter (fun o -> if is_gate c o then marked.(o) <- true) (Circuit.outputs c);
@@ -233,13 +286,48 @@ let run_pass ?pool objective opts c =
            function on proved-unreachable combinations, so the exhaustive
            local check only applies to exact ones. *)
         let verify_local = opts.verify_local && cand.exact in
+        let idx = vstate.attempts in
+        vstate.attempts <- idx + 1;
+        let snapshot =
+          if should_verify opts.verify idx then Some (Circuit.copy c) else None
+        in
         let fresh = Replace.splice ~verify_local c cand.sub cand.built in
-        ignore fresh;
-        incr replacements;
-        Obs.Counter.incr accepted_c;
-        Array.iter
-          (fun input -> if is_gate c input then marked.(input) <- true)
-          cand.sub.Subcircuit.inputs
+        (if opts.inject_unsound = idx + 1 then
+           match inverted_kind (Circuit.kind c fresh) with
+           | Some k -> Circuit.set_kind c fresh k
+           | None -> ());
+        let sound =
+          match snapshot with
+          | None -> true
+          | Some before -> (
+            vstate.checks <- vstate.checks + 1;
+            Obs.Counter.incr verify_checks_c;
+            match Cec.check ?pool before c with
+            | Cec.Equivalent -> true
+            | Cec.Unknown _ ->
+              (* Budget exhausted is not evidence of unsoundness: the local
+                 checks already passed, so the replacement stands. *)
+              Obs.Counter.incr verify_unknown_c;
+              true
+            | Cec.Counterexample _ ->
+              Circuit.overwrite c ~with_:before;
+              vstate.refused <- vstate.refused + 1;
+              Obs.Counter.incr verify_refused_c;
+              false)
+        in
+        if sound then begin
+          incr replacements;
+          Obs.Counter.incr accepted_c;
+          Array.iter
+            (fun input -> if is_gate c input then marked.(input) <- true)
+            cand.sub.Subcircuit.inputs
+        end
+        else
+          (* Unsound rewrite refused: the splice was rolled back, so [g] is
+             intact — continue as if no candidate had improved on it. *)
+          Array.iter
+            (fun input -> if is_gate c input then marked.(input) <- true)
+            (Circuit.fanins c g)
       | None ->
         Array.iter
           (fun input -> if is_gate c input then marked.(input) <- true)
@@ -254,10 +342,14 @@ let optimize_with ?pool objective opts c =
   let paths_before = Paths.total c in
   let passes = ref 0 in
   let replacements = ref 0 in
+  let vstate = { attempts = 0; checks = 0; refused = 0 } in
   let continue = ref true in
   while !continue && !passes < opts.max_passes do
     incr passes;
-    let r = Obs.Span.with_ "engine.pass" (fun () -> run_pass ?pool objective opts c) in
+    let r =
+      Obs.Span.with_ "engine.pass" (fun () ->
+          run_pass ?pool objective opts vstate c)
+    in
     replacements := !replacements + r;
     (match reference with
     | Some reference ->
@@ -273,6 +365,8 @@ let optimize_with ?pool objective opts c =
     gates_after = Circuit.two_input_gate_count c;
     paths_before;
     paths_after = Paths.total c;
+    verify_checks = vstate.checks;
+    verify_refused = vstate.refused;
   }
 
 let optimize objective opts c =

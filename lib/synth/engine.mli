@@ -12,6 +12,24 @@ type objective =
   | Gates  (** Procedure 2: maximise gate reduction, tie-break on paths. *)
   | Paths  (** Procedure 3: minimise the path count on the gate output. *)
 
+type verify =
+  [ `Off  (** trust the local checks; no whole-circuit proof *)
+  | `Sampled of int
+    (** SAT-prove the circuit before/after every [n]-th accepted
+        replacement (the first acceptance is always proved) *)
+  | `Full  (** SAT-prove every accepted replacement *) ]
+(** Whole-circuit equivalence checking of accepted replacements with
+    {!Cec.check} (DESIGN.md §10). The pre-splice circuit is snapshotted and
+    miter-checked against the post-splice circuit; a counterexample rolls
+    the splice back and the engine continues as if the candidate had not
+    existed ([stats.verify_refused] counts these — any refusal indicates an
+    engine bug, since local verification should already guarantee
+    soundness). An [Unknown] verdict (conflict budget exhausted) lets the
+    replacement stand. Don't-care replacements are proved by the same
+    whole-circuit miter: they only diverge on subcircuit input combinations
+    already proved unreachable from the primary inputs, so the miter stays
+    UNSAT. *)
+
 type options = {
   k : int;  (** subcircuit input limit K (paper: 5 or 6) *)
   max_candidates : int;  (** candidate cap per root *)
@@ -38,12 +56,19 @@ type options = {
           because candidates are scored with per-candidate derived seeds
           and merged back in enumeration order. *)
   obs : bool;  (** force-enable {!Obs} collection for this run. *)
+  verify : verify;  (** SAT-based replacement verification, see {!verify}. *)
+  inject_unsound : int;
+      (** Fault-injection hook for the test suite: corrupt the [n]-th
+          accepted replacement (1-based; [0] = never) by inverting the
+          spliced root {e after} local verification, so only the {!verify}
+          miter can catch it. Never set this outside tests. *)
 }
 
 val default_options : options
 (** K = 6, 64 candidates, exact identification, merging, local verification
     on, global verification off, at most 16 passes, seed 1, extensions off,
-    [domains = 0] (auto), [obs = false]. *)
+    [domains = 0] (auto), [obs = false], [verify = `Sampled 8],
+    [inject_unsound = 0]. *)
 
 type stats = {
   passes : int;
@@ -52,6 +77,8 @@ type stats = {
   gates_after : int;
   paths_before : int;
   paths_after : int;
+  verify_checks : int;  (** whole-circuit miter checks performed *)
+  verify_refused : int;  (** replacements rolled back as unsound *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -61,5 +88,6 @@ val optimize : objective -> options -> Circuit.t -> stats
     pass breaks equivalence (which would indicate a bug).
 
     Observability (when enabled): counters [engine.candidates],
-    [engine.realised], [engine.accepted]; histogram [engine.cut_size];
-    span [engine.pass] (one per resynthesis pass). *)
+    [engine.realised], [engine.accepted], [engine.verify_checks],
+    [engine.verify_refused], [engine.verify_unknown]; histogram
+    [engine.cut_size]; span [engine.pass] (one per resynthesis pass). *)

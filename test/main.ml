@@ -26,4 +26,6 @@ let () =
       ("parallel", Test_parallel.suite);
       Helpers.qsuite "parallel-properties" Test_parallel.qchecks;
       ("obs", Test_obs.suite);
+      ("cec", Test_cec.suite);
+      Helpers.qsuite "cec-properties" Test_cec.qchecks;
     ]
