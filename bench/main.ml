@@ -21,6 +21,10 @@
                     "json" prints the JSON document, anything else is a
                     file path receiving the JSON (see DESIGN.md §9)
      --trace        print the span trace tree when the run finishes
+     --trace-out FILE
+                    record begin/end/instant events during the run and
+                    write them to FILE as a Chrome trace-event JSON array
+                    (chrome://tracing / Perfetto; see DESIGN.md §11)
    Every table prints our measured rows next to the paper's published rows;
    absolute numbers differ (synthetic stand-in circuits, scaled budgets) but
    the qualitative shape is the claim under test. EXPERIMENTS.md records a
@@ -33,6 +37,7 @@ let json_file : string option ref = ref None
 let domains = ref (Pool.default_domains ())
 let metrics : string option ref = ref None
 let trace = ref false
+let trace_out : string option ref = ref None
 
 let () =
   let rec parse = function
@@ -66,6 +71,9 @@ let () =
     | "--trace" :: rest ->
       trace := true;
       parse rest
+    | "--trace-out" :: file :: rest ->
+      trace_out := Some file;
+      parse rest
     | "--domains" :: n :: rest ->
       (match int_of_string_opt n with
       | Some n -> domains := Pool.domains_of_flag n
@@ -79,14 +87,15 @@ let () =
         "error: unknown argument %s\n\
          usage: main.exe [--quick|--full] [--only IDS] \
          [--only-circuits NAMES] [--json FILE] [--domains N] \
-         [--metrics text|json|FILE] [--trace]\n"
+         [--metrics text|json|FILE] [--trace] [--trace-out FILE]\n"
         other;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   (* The JSON snapshot always embeds the observability registry, so collect
      whenever any sink wants it. *)
-  if !metrics <> None || !trace || !json_file <> None then Obs.enable ()
+  if !metrics <> None || !trace || !json_file <> None then Obs.enable ();
+  if !trace_out <> None then Obs.Trace.enable ()
 
 let enabled id = !only = [] || List.mem id !only
 
@@ -100,13 +109,14 @@ let bench_small () = List.filter circuit_enabled Benchmarks.small
 let now () = Sys.time ()
 
 (* ... but wall clock for everything recorded in the JSON snapshot: the
-   whole point of the parallel kernels is wall-clock speedup. *)
-let wall () = Unix.gettimeofday ()
+   whole point of the parallel kernels is wall-clock speedup. Obs.now is
+   the observability layer's (non-monotonic) clock, hence the clamps. *)
+let wall () = Obs.now ()
 
 let time_wall f =
   let t0 = wall () in
   let r = f () in
-  (r, wall () -. t0)
+  (r, max 0. (wall () -. t0))
 
 (* --- JSON snapshot accumulators ----------------------------------------- *)
 
@@ -139,7 +149,7 @@ let section id title f =
     let t0 = now () in
     let w0 = wall () in
     Obs.Span.with_ ("bench." ^ id) f;
-    json_sections := (id, title, wall () -. w0) :: !json_sections;
+    json_sections := (id, title, max 0. (wall () -. w0)) :: !json_sections;
     Printf.printf "[%s done in %.1fs cpu]\n%!" id (now () -. t0)
   end
 
@@ -1004,7 +1014,7 @@ let write_json file =
   let b = Buffer.create 4096 in
   let item first s = (if not first then Buffer.add_string b ",\n"); Buffer.add_string b s in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b "  \"schema_version\": 2,\n";
   Buffer.add_string b "  \"generator\": \"sft bench harness\",\n";
   Buffer.add_string b
     (Printf.sprintf "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full"));
@@ -1067,6 +1077,15 @@ let write_json file =
            r.cc_seconds))
     (List.rev !json_cec);
   Buffer.add_string b "\n  ],\n";
+  (* Schema v2: a summary of the event-tracing buffers, so a snapshot
+     records whether its trace (if any) was complete or lossy. *)
+  let ts = Obs.Trace.stats () in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"trace_events\": {\"enabled\": %b, \"rings\": %d, \"recorded\": %d, \
+        \"dropped\": %d},\n"
+       (Obs.Trace.enabled ()) ts.Obs.Trace.rings ts.Obs.Trace.recorded
+       ts.Obs.Trace.dropped);
   (* The observability registry (counters, histograms, span trace) rides
      along in the snapshot; schema in DESIGN.md §9. *)
   Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n}\n" (Obs.Export.to_json ()));
@@ -1092,6 +1111,17 @@ let () =
   | None -> ()
   | Some file -> (
     try write_json file
+    with Sys_error msg ->
+      Printf.eprintf "error: could not write %s: %s\n" file msg;
+      exit 1));
+  (match !trace_out with
+  | None -> ()
+  | Some file -> (
+    try
+      Obs.Trace.write_file file;
+      let s = Obs.Trace.stats () in
+      Printf.printf "wrote %s (%d events, %d dropped)\n" file s.Obs.Trace.recorded
+        s.Obs.Trace.dropped
     with Sys_error msg ->
       Printf.eprintf "error: could not write %s: %s\n" file msg;
       exit 1));

@@ -3,8 +3,9 @@
    Circuits are read from ISCAS-style .bench files ("-" reads stdin), or
    taken from the built-in benchmark registry with --bench NAME.
 
-   Every subcommand accepts --metrics [text|json|FILE] and --trace
-   (observability, see Obs and DESIGN.md §9). With --metrics json the
+   Every subcommand accepts --metrics [text|json|FILE], --trace, and
+   --trace-out FILE (Chrome trace-event export; observability, see Obs and
+   DESIGN.md §9 and §11). With --metrics json the
    metrics document owns stdout and all human-readable output moves to
    stderr, so `sft fsim --metrics json -` composes in a pipe. *)
 
@@ -87,11 +88,21 @@ let trace_arg =
     & info [ "trace" ]
         ~doc:"Collect span timings and print the trace tree to stderr.")
 
-(* [with_obs metrics trace body] runs [body ppf] with observability enabled
-   as requested and exports the registry afterwards (also on failure, so an
-   interrupted run still reports what it measured). [ppf] is where the
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record begin/end/instant events while the command runs and write \
+           them to FILE as a Chrome trace-event JSON array (open with \
+           chrome://tracing or Perfetto).")
+
+(* [with_obs metrics trace trace_out body] runs [body ppf] with observability
+   enabled as requested and exports the registry afterwards (also on failure,
+   so an interrupted run still reports what it measured). [ppf] is where the
    command's human-readable output goes: stderr when stdout carries JSON. *)
-let with_obs metrics trace body =
+let with_obs metrics trace trace_out body =
   let metrics =
     match metrics with
     | None -> MNone
@@ -100,11 +111,20 @@ let with_obs metrics trace body =
     | Some path -> MFile path
   in
   if metrics <> MNone || trace then Obs.enable ();
+  if trace_out <> None then Obs.Trace.enable ();
   let ppf = if metrics = MJson then Format.err_formatter else Format.std_formatter in
   Fun.protect
     ~finally:(fun () ->
       Format.pp_print_flush ppf ();
       if trace then prerr_string (Obs.Export.trace_text ());
+      (match trace_out with
+      | Some path ->
+        Obs.Trace.write_file path;
+        let s = Obs.Trace.stats () in
+        if s.Obs.Trace.dropped > 0 then
+          Printf.eprintf "sft: trace %s: %d event(s) dropped (buffers full)\n"
+            path s.Obs.Trace.dropped
+      | None -> ());
       match metrics with
       | MNone -> ()
       | MText -> print_string (Obs.Export.to_text ())
@@ -131,13 +151,13 @@ let print_stats ppf c =
 (* --- stats ---------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run file bench metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run file bench metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         print_stats ppf c)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics (Procedure 1 path count included).")
-    Term.(const run $ file_arg $ bench_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ file_arg $ bench_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- list ----------------------------------------------------------------- *)
 
@@ -166,8 +186,8 @@ let list_cmd =
 (* --- gen ------------------------------------------------------------------ *)
 
 let gen_cmd =
-  let run name raw output metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run name raw output metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let e = Benchmarks.find name in
         let c =
           if raw then Circuit_gen.generate e.Benchmarks.profile else Benchmarks.build e
@@ -181,14 +201,14 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a benchmark stand-in and optionally write it out.")
-    Term.(const run $ name_arg $ raw $ output_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ name_arg $ raw $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- optimize ------------------------------------------------------------- *)
 
 let optimize_cmd =
   let run file bench objective k engine budget no_merge verify dontcares units
-      domains output metrics trace =
-    with_obs metrics trace (fun ppf ->
+      domains output metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let objective =
           match objective with
@@ -255,14 +275,14 @@ let optimize_cmd =
        ~doc:"Resynthesise with comparison units (Procedures 2 and 3 of the paper).")
     Term.(
       const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
-      $ verify $ dontcares $ units $ domains_arg $ output_arg $ metrics_arg $ trace_arg)
+      $ verify $ dontcares $ units $ domains_arg $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- check ----------------------------------------------------------------- *)
 
 let check_cmd =
-  let run file_a file_b budget domains metrics trace =
+  let run file_a file_b budget domains metrics trace trace_out =
     let code =
-      with_obs metrics trace (fun ppf ->
+      with_obs metrics trace trace_out (fun ppf ->
           let a = load ~file:(Some file_a) ~bench:None in
           let b = load ~file:(Some file_b) ~bench:None in
           let result =
@@ -327,13 +347,13 @@ let check_cmd =
           status: 0 equivalent, 1 counterexample (printed as an input \
           assignment), 2 budget exhausted.")
     Term.(
-      const run $ file_a $ file_b $ budget $ domains_arg $ metrics_arg $ trace_arg)
+      const run $ file_a $ file_b $ budget $ domains_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- rar ------------------------------------------------------------------ *)
 
 let rar_cmd =
-  let run file bench additions trials seed output metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run file bench additions trials seed output metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let options =
           { Rar.default_options with Rar.max_additions = additions; max_trials = trials; seed }
@@ -349,13 +369,13 @@ let rar_cmd =
     (Cmd.info "rar" ~doc:"Redundancy-addition-and-removal baseline (RAMBO_C stand-in).")
     Term.(
       const run $ file_arg $ bench_arg $ additions $ trials $ seed_arg $ output_arg
-      $ metrics_arg $ trace_arg)
+      $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- redundancy ------------------------------------------------------------ *)
 
 let redundancy_cmd =
-  let run file bench seed output metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run file bench seed output metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let report = Redundancy.remove ~seed c in
         Format.fprintf ppf "%a@." Redundancy.pp_report report;
@@ -365,13 +385,13 @@ let redundancy_cmd =
   Cmd.v
     (Cmd.info "redundancy" ~doc:"Remove stuck-at redundancies (the paper's [15] step).")
     Term.(
-      const run $ file_arg $ bench_arg $ seed_arg $ output_arg $ metrics_arg $ trace_arg)
+      const run $ file_arg $ bench_arg $ seed_arg $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- fsim ------------------------------------------------------------------ *)
 
 let fsim_cmd =
-  let run file bench patterns domains seed metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run file bench patterns domains seed metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let r =
           Campaign.exec
@@ -387,13 +407,13 @@ let fsim_cmd =
     (Cmd.info "fsim" ~doc:"Random-pattern stuck-at fault simulation campaign (Table 6).")
     Term.(
       const run $ file_arg $ bench_arg $ patterns $ domains_arg $ seed_arg
-      $ metrics_arg $ trace_arg)
+      $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- atpg ------------------------------------------------------------------ *)
 
 let atpg_cmd =
-  let run file bench limit metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run file bench limit metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let faults = Fault.collapsed c in
         let stats = Podem.generate_all ~backtrack_limit:limit c faults in
@@ -403,13 +423,13 @@ let atpg_cmd =
   in
   let limit = Arg.(value & opt int 1000 & info [ "backtracks" ] ~doc:"PODEM backtrack limit.") in
   Cmd.v (Cmd.info "atpg" ~doc:"Run PODEM on every collapsed stuck-at fault.")
-    Term.(const run $ file_arg $ bench_arg $ limit $ metrics_arg $ trace_arg)
+    Term.(const run $ file_arg $ bench_arg $ limit $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- pdf ------------------------------------------------------------------ *)
 
 let pdf_cmd =
-  let run file bench pairs window domains seed metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run file bench pairs window domains seed metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let r =
           Pdf_campaign.exec
@@ -433,20 +453,20 @@ let pdf_cmd =
        ~doc:"Random-pattern robust path-delay-fault campaign (Table 7).")
     Term.(
       const run $ file_arg $ bench_arg $ pairs $ window $ domains_arg $ seed_arg
-      $ metrics_arg $ trace_arg)
+      $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- map ------------------------------------------------------------------ *)
 
 let map_cmd =
-  let run file bench metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run file bench metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let r = Mapper.map c in
         Format.fprintf ppf "%s: literals %d, longest path %d cells, cells used %d@."
           (Circuit.name c) r.Mapper.literals r.Mapper.longest r.Mapper.cells_used)
   in
   Cmd.v (Cmd.info "map" ~doc:"Technology-map the circuit and report literals/depth (Table 4).")
-    Term.(const run $ file_arg $ bench_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ file_arg $ bench_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- identify --------------------------------------------------------------- *)
 
@@ -480,8 +500,8 @@ let identify_cmd =
 (* --- sop ------------------------------------------------------------------- *)
 
 let sop_cmd =
-  let run n minterms output metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run n minterms output metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let ms =
           String.split_on_char ',' minterms
           |> List.filter (fun s -> String.trim s <> "")
@@ -504,13 +524,13 @@ let sop_cmd =
   in
   Cmd.v
     (Cmd.info "sop" ~doc:"Minimise to two-level form (Quine-McCluskey) and build the netlist.")
-    Term.(const run $ n $ minterms $ output_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ n $ minterms $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- pdfatpg ----------------------------------------------------------------- *)
 
 let pdfatpg_cmd =
-  let run file bench limit max_paths seed metrics trace =
-    with_obs metrics trace (fun ppf ->
+  let run file bench limit max_paths seed metrics trace trace_out =
+    with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let s = Pdf_atpg.classify_all ~backtrack_limit:limit ~max_paths ~seed c in
         Format.fprintf ppf "%a@." Pdf_atpg.pp_summary s)
@@ -524,7 +544,76 @@ let pdfatpg_cmd =
   Cmd.v
     (Cmd.info "pdfatpg"
        ~doc:"Classify every path delay fault as robustly testable/untestable (exact ATPG).")
-    Term.(const run $ file_arg $ bench_arg $ limit $ max_paths $ seed_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ file_arg $ bench_arg $ limit $ max_paths $ seed_arg $ metrics_arg $ trace_arg $ trace_out_arg)
+
+(* --- bench-diff -------------------------------------------------------------- *)
+
+let bench_diff_cmd =
+  let run old_file new_file threshold metrics =
+    let read path =
+      try In_channel.with_open_bin path In_channel.input_all
+      with Sys_error msg -> die "%s" msg
+    in
+    let metrics =
+      match metrics with
+      | None -> None
+      | Some spec ->
+        Some
+          (String.split_on_char ',' spec
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> ""))
+    in
+    let result =
+      Bench_diff.diff ~threshold ?metrics ~old_name:old_file
+        ~old_text:(read old_file) ~new_name:new_file ~new_text:(read new_file)
+        ()
+    in
+    (match result with
+    | Ok (report, _) -> print_string report
+    | Error msg -> prerr_endline ("sft: bench-diff: " ^ msg));
+    exit (Bench_diff.exit_code result)
+  in
+  let old_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline snapshot (bench harness $(b,--json) output).")
+  in
+  let new_file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate snapshot to compare against OLD.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 5.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Regression tolerance in percent: a metric must be worse than OLD \
+             by more than PCT to count as a regression (CEC verdicts ignore \
+             the threshold). Use $(b,0) for a strict gate on deterministic \
+             metrics.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"LIST"
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated metrics to compare (default: all). Known: %s."
+               (String.concat ", " Bench_diff.default_metrics)))
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Diff two bench-harness $(b,--json) snapshots and flag regressions. \
+          Compares circuits, wall times, speedups, coverage counters and CEC \
+          verdicts on the intersection of the two files. Exit status: 0 no \
+          regression, 1 regression beyond the threshold, 2 incomparable \
+          (parse error, schema mismatch, or nothing aligned).")
+    Term.(const run $ old_file $ new_file $ threshold $ metrics)
 
 let () =
   let doc = "synthesis-for-testability with comparison units (Pomeranz & Reddy, DAC'95)" in
@@ -546,6 +635,7 @@ let () =
         identify_cmd;
         sop_cmd;
         pdfatpg_cmd;
+        bench_diff_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -269,6 +269,7 @@ let generate ?(backtrack_limit = 1000) c (f : Fault.t) =
   | Exhausted -> Untestable
   | exception Abort ->
     Obs.Counter.incr aborted_c;
+    Obs.Trace.instant ~cat:"atpg" "podem.aborted";
     Aborted
 
 type stats = {
@@ -279,11 +280,12 @@ type stats = {
 }
 
 let generate_all ?backtrack_limit c faults =
-  List.fold_left
-    (fun acc f ->
-      match generate ?backtrack_limit c f with
-      | Test v -> { acc with tested = acc.tested + 1; tests = (f, v) :: acc.tests }
-      | Untestable -> { acc with untestable = acc.untestable + 1 }
-      | Aborted -> { acc with aborted = acc.aborted + 1 })
-    { tested = 0; untestable = 0; aborted = 0; tests = [] }
-    faults
+  Obs.Span.with_ "podem.generate_all" (fun () ->
+      List.fold_left
+        (fun acc f ->
+          match generate ?backtrack_limit c f with
+          | Test v -> { acc with tested = acc.tested + 1; tests = (f, v) :: acc.tests }
+          | Untestable -> { acc with untestable = acc.untestable + 1 }
+          | Aborted -> { acc with aborted = acc.aborted + 1 })
+        { tested = 0; untestable = 0; aborted = 0; tests = [] }
+        faults)

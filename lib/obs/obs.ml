@@ -1,16 +1,35 @@
-(* Process-wide probe registry behind a single on/off switch.
+(* Process-wide probe registry behind a single on/off word.
 
    Counters and histograms are plain records of [Atomic.t] cells, so pool
    workers update them without locks. The span tree is shared across
    domains and guarded by [mu]; each domain tracks its own current-span
    stack in domain-local storage, so concurrent spans from different
    domains aggregate into the same tree without interleaving corruption.
-   The registry mutex is also reused for idempotent probe registration. *)
+   The registry mutex is also reused for idempotent probe registration.
 
-let on = Atomic.make false
-let enabled () = Atomic.get on
-let enable () = Atomic.set on true
-let disable () = Atomic.set on false
+   The on/off switch is one atomic int with two independent bits — metrics
+   (counters, histograms, span tree) and event tracing (per-domain event
+   buffers, Chrome trace export) — so the fully-disabled fast path in every
+   probe is still a single atomic load and one predictable branch. *)
+
+let state = Atomic.make 0
+let metrics_bit = 1
+let trace_bit = 2
+
+let rec set_bit b =
+  let s = Atomic.get state in
+  if not (Atomic.compare_and_set state s (s lor b)) then set_bit b
+
+let rec clear_bit b =
+  let s = Atomic.get state in
+  if not (Atomic.compare_and_set state s (s land lnot b)) then clear_bit b
+
+let enabled () = Atomic.get state land metrics_bit <> 0
+let enable () = set_bit metrics_bit
+let disable () = clear_bit metrics_bit
+
+(* The one clock of the subsystem (see the .mli caveat: this is wall time,
+   not a monotonic clock, so consumers clamp durations to [>= 0]). *)
 let now () = Unix.gettimeofday ()
 
 let mu = Mutex.create ()
@@ -39,8 +58,12 @@ module Counter = struct
           counters_order := c :: !counters_order;
           c)
 
-  let incr c = if Atomic.get on then Atomic.incr c.c_v
-  let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.c_v n)
+  let incr c = if Atomic.get state land metrics_bit <> 0 then Atomic.incr c.c_v
+
+  let add c n =
+    if Atomic.get state land metrics_bit <> 0 then
+      ignore (Atomic.fetch_and_add c.c_v n)
+
   let value c = Atomic.get c.c_v
   let name c = c.c_name
 end
@@ -105,7 +128,7 @@ module Histogram = struct
           h)
 
   let observe h v =
-    if Atomic.get on then begin
+    if Atomic.get state land metrics_bit <> 0 then begin
       Atomic.incr h.h_count;
       ignore (Atomic.fetch_and_add h.h_sum v);
       atomic_min h.h_min v;
@@ -115,6 +138,233 @@ module Histogram = struct
 
   let count h = Atomic.get h.h_count
   let sum h = Atomic.get h.h_sum
+end
+
+(* --- event tracing -------------------------------------------------------- *)
+
+(* Bounded per-domain event buffers. Each domain appends to a private,
+   fixed-capacity buffer (no locking, no allocation beyond the event
+   record), so tracing never blocks a worker and never grows without
+   bound; a full buffer counts drops instead.
+
+   Balance invariant: a Chrome trace wants every B (begin) matched by an E
+   (end) on the same tid. Emitting a B therefore also *reserves* one slot
+   for its future E ([reserved]), and a B that does not fit pushes [false]
+   on [span_ok] so the matching end is suppressed with it. The invariant
+   [len + reserved <= capacity] guarantees a reserved E always has room:
+   drops can lose whole spans but can never unbalance the stream. *)
+
+module Trace = struct
+  type phase = B | E | I | X
+
+  type event = {
+    ev_name : string;
+    ev_cat : string;
+    ev_ph : phase;
+    ev_ts : float; (* raw [now ()] at emission *)
+    ev_dur : float; (* X only, seconds, >= 0 *)
+  }
+
+  let dummy_event = { ev_name = ""; ev_cat = ""; ev_ph = I; ev_ts = 0.; ev_dur = 0. }
+
+  type ring = {
+    r_tid : int; (* Domain.self of the owning domain *)
+    r_gen : int; (* reset generation this ring belongs to *)
+    r_events : event array; (* fixed capacity *)
+    mutable r_len : int;
+    mutable r_reserved : int; (* slots promised to pending E events *)
+    mutable r_dropped : int;
+    mutable r_span_ok : bool list; (* per open span: was its B recorded? *)
+  }
+
+  (* Export epoch: timestamps are exported relative to process start so
+     they stay small and positive (clamped, the clock is wall time). *)
+  let epoch = now ()
+
+  let default_capacity = 65_536
+  let capacity_cell = Atomic.make default_capacity
+  let set_capacity n = Atomic.set capacity_cell (max 16 n)
+  let capacity () = Atomic.get capacity_cell
+
+  (* All rings ever registered in the current generation, guarded by [mu].
+     [reset] empties the list and bumps the generation; a domain whose
+     cached ring is stale re-registers a fresh one, so buffers from
+     finished pool domains are reclaimed at every reset. *)
+  let rings : ring list ref = ref [] (* reversed registration order *)
+  let generation = Atomic.make 0
+
+  let ring_key : ring option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let get_ring () =
+    let slot = Domain.DLS.get ring_key in
+    let gen = Atomic.get generation in
+    match !slot with
+    | Some r when r.r_gen = gen -> r
+    | _ ->
+      let r =
+        {
+          r_tid = (Domain.self () :> int);
+          r_gen = gen;
+          r_events = Array.make (Atomic.get capacity_cell) dummy_event;
+          r_len = 0;
+          r_reserved = 0;
+          r_dropped = 0;
+          r_span_ok = [];
+        }
+      in
+      locked (fun () -> rings := r :: !rings);
+      slot := Some r;
+      r
+
+  let enabled () = Atomic.get state land trace_bit <> 0
+  let enable () = set_bit trace_bit
+  let disable () = clear_bit trace_bit
+
+  let push r ev =
+    r.r_events.(r.r_len) <- ev;
+    r.r_len <- r.r_len + 1
+
+  let has_room r extra = r.r_len + r.r_reserved + extra <= Array.length r.r_events
+
+  (* Internal emitters: callers have already checked [enabled] (or, for
+     span ends, captured the decision at span entry — an end must always
+     pop [r_span_ok], even if tracing was switched off mid-span). *)
+
+  let emit_begin ~cat name =
+    let r = get_ring () in
+    if has_room r 2 then begin
+      push r { ev_name = name; ev_cat = cat; ev_ph = B; ev_ts = now (); ev_dur = 0. };
+      r.r_reserved <- r.r_reserved + 1;
+      r.r_span_ok <- true :: r.r_span_ok
+    end
+    else begin
+      r.r_dropped <- r.r_dropped + 1;
+      r.r_span_ok <- false :: r.r_span_ok
+    end
+
+  let emit_end ~cat name =
+    let r = get_ring () in
+    match r.r_span_ok with
+    | true :: tl ->
+      r.r_span_ok <- tl;
+      r.r_reserved <- r.r_reserved - 1;
+      push r { ev_name = name; ev_cat = cat; ev_ph = E; ev_ts = now (); ev_dur = 0. }
+    | false :: tl ->
+      r.r_span_ok <- tl;
+      r.r_dropped <- r.r_dropped + 1
+    | [] ->
+      (* unmatched end (tracing enabled mid-span): drop, never unbalance *)
+      r.r_dropped <- r.r_dropped + 1
+
+  let instant ?(cat = "sft") name =
+    if Atomic.get state land trace_bit <> 0 then begin
+      let r = get_ring () in
+      if has_room r 1 then
+        push r { ev_name = name; ev_cat = cat; ev_ph = I; ev_ts = now (); ev_dur = 0. }
+      else r.r_dropped <- r.r_dropped + 1
+    end
+
+  let complete ?(cat = "sft") name ~ts ~dur =
+    if Atomic.get state land trace_bit <> 0 then begin
+      let r = get_ring () in
+      if has_room r 1 then
+        push r
+          { ev_name = name; ev_cat = cat; ev_ph = X; ev_ts = ts; ev_dur = max 0. dur }
+      else r.r_dropped <- r.r_dropped + 1
+    end
+
+  type summary = { rings : int; recorded : int; dropped : int }
+
+  let stats () =
+    locked (fun () ->
+        List.fold_left
+          (fun acc r ->
+            {
+              rings = acc.rings + 1;
+              recorded = acc.recorded + r.r_len;
+              dropped = acc.dropped + r.r_dropped;
+            })
+          { rings = 0; recorded = 0; dropped = 0 }
+          !rings)
+
+  let reset () =
+    locked (fun () ->
+        rings := [];
+        Atomic.incr generation)
+
+  (* Chrome trace-event JSON (the "JSON array format" Perfetto and
+     chrome://tracing accept): one object per event, one [pid] for the
+     process, the owning domain's id as [tid]. Timestamps and durations
+     are microseconds; [ts] is relative to [epoch] and clamped to >= 0
+     (the clock is wall time and may step). *)
+
+  let phase_string = function B -> "B" | E -> "E" | I -> "i" | X -> "X"
+
+  let event_json tid ev =
+    let base =
+      [
+        ("name", Obs_json.String ev.ev_name);
+        ("cat", Obs_json.String ev.ev_cat);
+        ("ph", Obs_json.String (phase_string ev.ev_ph));
+        ("ts", Obs_json.Float (max 0. ((ev.ev_ts -. epoch) *. 1e6)));
+        ("pid", Obs_json.Int 1);
+        ("tid", Obs_json.Int tid);
+      ]
+    in
+    let extra =
+      match ev.ev_ph with
+      | X -> [ ("dur", Obs_json.Float (ev.ev_dur *. 1e6)) ]
+      | I -> [ ("s", Obs_json.String "t") ]
+      | B | E -> []
+    in
+    Obs_json.Obj (base @ extra)
+
+  let metadata_json tid =
+    Obs_json.Obj
+      [
+        ("name", Obs_json.String "thread_name");
+        ("ph", Obs_json.String "M");
+        ("pid", Obs_json.Int 1);
+        ("tid", Obs_json.Int tid);
+        ( "args",
+          Obs_json.Obj
+            [ ("name", Obs_json.String (Printf.sprintf "domain%d" tid)) ] );
+      ]
+
+  let dropped_json tid count =
+    Obs_json.Obj
+      [
+        ("name", Obs_json.String "trace.dropped");
+        ("cat", Obs_json.String "trace");
+        ("ph", Obs_json.String "i");
+        ("ts", Obs_json.Float (max 0. ((now () -. epoch) *. 1e6)));
+        ("pid", Obs_json.Int 1);
+        ("tid", Obs_json.Int tid);
+        ("s", Obs_json.String "t");
+        ("args", Obs_json.Obj [ ("count", Obs_json.Int count) ]);
+      ]
+
+  let to_json_value () =
+    locked (fun () ->
+        let rs =
+          List.rev !rings
+          |> List.filter (fun r -> r.r_len > 0 || r.r_dropped > 0)
+        in
+        let per_ring r =
+          let events = List.init r.r_len (fun i -> event_json r.r_tid r.r_events.(i)) in
+          let drops = if r.r_dropped > 0 then [ dropped_json r.r_tid r.r_dropped ] else [] in
+          (metadata_json r.r_tid :: events) @ drops
+        in
+        Obs_json.List (List.concat_map per_ring rs))
+
+  let to_json () = Obs_json.to_string (to_json_value ())
+
+  let write_file file =
+    let oc = open_out file in
+    output_string oc (to_json ());
+    output_char oc '\n';
+    close_out oc
 end
 
 (* --- spans --------------------------------------------------------------- *)
@@ -137,29 +387,45 @@ let stack_key : node list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref
 
 module Span = struct
   let with_ name f =
-    if not (Atomic.get on) then f ()
+    let s = Atomic.get state in
+    if s = 0 then f ()
     else begin
-      let stack = Domain.DLS.get stack_key in
-      let parent = match !stack with n :: _ -> n | [] -> root in
+      let metrics = s land metrics_bit <> 0 in
+      let tracing = s land trace_bit <> 0 in
       let node =
-        locked (fun () ->
-            match Hashtbl.find_opt parent.s_kids name with
-            | Some n -> n
-            | None ->
-              let n = fresh_node name in
-              Hashtbl.add parent.s_kids name n;
-              parent.s_kid_order <- name :: parent.s_kid_order;
-              n)
+        if not metrics then None
+        else begin
+          let stack = Domain.DLS.get stack_key in
+          let parent = match !stack with n :: _ -> n | [] -> root in
+          let node =
+            locked (fun () ->
+                match Hashtbl.find_opt parent.s_kids name with
+                | Some n -> n
+                | None ->
+                  let n = fresh_node name in
+                  Hashtbl.add parent.s_kids name n;
+                  parent.s_kid_order <- name :: parent.s_kid_order;
+                  n)
+          in
+          stack := node :: !stack;
+          Some node
+        end
       in
-      stack := node :: !stack;
+      if tracing then Trace.emit_begin ~cat:"span" name;
       let t0 = now () in
       Fun.protect
         ~finally:(fun () ->
-          let dt = now () -. t0 in
-          (match !stack with _ :: tl -> stack := tl | [] -> ());
-          locked (fun () ->
-              node.s_calls <- node.s_calls + 1;
-              node.s_wall <- node.s_wall +. dt))
+          (* Wall time can step backwards: never account a negative span. *)
+          let dt = max 0. (now () -. t0) in
+          if tracing then Trace.emit_end ~cat:"span" name;
+          match node with
+          | None -> ()
+          | Some node ->
+            let stack = Domain.DLS.get stack_key in
+            (match !stack with _ :: tl -> stack := tl | [] -> ());
+            locked (fun () ->
+                node.s_calls <- node.s_calls + 1;
+                node.s_wall <- node.s_wall +. dt))
         f
     end
 
@@ -194,7 +460,8 @@ let reset () =
       Hashtbl.reset root.s_kids;
       root.s_kid_order <- [];
       root.s_calls <- 0;
-      root.s_wall <- 0.)
+      root.s_wall <- 0.);
+  Trace.reset ()
 
 (* --- exporters ----------------------------------------------------------- *)
 
@@ -232,7 +499,7 @@ module Export = struct
     Obs_json.Obj
       [
         ("schema_version", Obs_json.Int 1);
-        ("enabled", Obs_json.Bool (Atomic.get on));
+        ("enabled", Obs_json.Bool (enabled ()));
         ("counters", Obs_json.Obj (List.map (fun (n, v) -> (n, Obs_json.Int v)) (counters ())));
         ( "histograms",
           Obs_json.Obj

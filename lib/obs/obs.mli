@@ -1,15 +1,26 @@
-(** Observability: counters, histograms and hierarchical span timers.
+(** Observability: counters, histograms, hierarchical span timers and
+    bounded event tracing.
 
     A process-wide registry of named probes with text and JSON exporters.
     Everything is safe to use from {!Domain} pool workers: counter and
     histogram updates are single atomic operations, span bookkeeping takes a
-    mutex only on span entry/exit (never inside the timed region).
+    mutex only on span entry/exit (never inside the timed region), and trace
+    events go to a private per-domain buffer with no locking at all.
 
-    {b Disabled is free.} The whole subsystem sits behind one global switch,
-    off by default. A disabled probe is a single atomic load and a
-    predictable branch — a few nanoseconds — so probes may sit in hot loops.
-    Probes never influence the computation they observe: enabling or
-    disabling observability cannot change any result bit.
+    {b Disabled is free.} The whole subsystem sits behind one global state
+    word with two independent bits — metrics ({!enable}) and event tracing
+    ({!Trace.enable}) — off by default. A disabled probe is a single atomic
+    load and a predictable branch — a few nanoseconds — so probes may sit in
+    hot loops. Probes never influence the computation they observe: enabling
+    or disabling observability cannot change any result bit.
+
+    {b Clock caveat.} All timing uses {!now}, which is wall-clock time
+    ([Unix.gettimeofday]) — the container has no monotonic-clock dependency.
+    Wall time can step (NTP, suspend), so every consumer of the clock in
+    this library clamps computed durations to [>= 0]; absolute timestamps
+    may still jump and are only "monotonic-ish". Instrumented code should
+    call {!now} rather than reading its own clock, so a future switch to a
+    monotonic source is one-line.
 
     {b Probe naming convention} (see DESIGN.md §9): lowercase
     [subsystem.metric] with dots as separators, e.g. [fsim.patterns],
@@ -22,12 +33,15 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val reset : unit -> unit
-(** Zero every counter and histogram and drop the recorded span tree.
-    Registered probe definitions survive (names stay in the registry). *)
+(** Zero every counter and histogram, drop the recorded span tree and
+    discard all trace buffers. Registered probe definitions survive (names
+    stay in the registry). *)
 
 val now : unit -> float
-(** Wall-clock seconds (the clock used for span timing), exposed so
-    instrumented code does not need its own timing dependency. *)
+(** Wall-clock seconds — the single clock behind span timing, trace events
+    and pool busy accounting, exposed so instrumented code does not need
+    its own timing dependency. {b Not monotonic}: see the clock caveat
+    above; clamp any duration computed from two reads to [>= 0]. *)
 
 module Counter : sig
   type t
@@ -55,14 +69,88 @@ module Histogram : sig
   val sum : t -> int
 end
 
+module Trace : sig
+  (** Event-level timeline: who ran what, on which domain, when.
+
+      Every participating domain owns a private fixed-capacity buffer of
+      events; emission is append-only with no locking, so tracing never
+      blocks a worker. A full buffer {e drops} further events (counted in
+      {!stats}) instead of growing or overwriting — memory is bounded by
+      [capacity () * live domains] regardless of circuit size.
+
+      Events follow the Chrome trace-event model: [B]/[E] begin/end pairs
+      (fed automatically by {!Span.with_}), [i] instants (explicit probes)
+      and [X] complete events with a duration (pool chunk execution).
+      {b Balance guarantee:} a [B] also reserves buffer space for its [E],
+      and a dropped [B] suppresses its matching [E], so the exported stream
+      always has balanced begin/end pairs per (tid, name) — even under
+      overflow. *)
+
+  val enabled : unit -> bool
+
+  val enable : unit -> unit
+  (** Switch event collection on. Tracing is independent of the metrics
+      bit: {!Span.with_} emits events whenever tracing is on, and records
+      the aggregate span tree whenever metrics are on. *)
+
+  val disable : unit -> unit
+
+  val set_capacity : int -> unit
+  (** Per-domain buffer capacity in events (default 65536, clamped to
+      [>= 16]). Affects buffers created afterwards — call it before
+      {!enable} (or after {!reset}) from the orchestrating domain. *)
+
+  val capacity : unit -> int
+
+  val instant : ?cat:string -> string -> unit
+  (** Record an [i] (instant) event on the calling domain's timeline.
+      [cat] defaults to ["sft"]. One atomic load when tracing is off. *)
+
+  val complete : ?cat:string -> string -> ts:float -> dur:float -> unit
+  (** Record an [X] (complete) event: a slice that started at [ts] (a raw
+      {!now} reading) and lasted [dur] seconds (clamped to [>= 0]). *)
+
+  type summary = { rings : int; recorded : int; dropped : int }
+
+  val stats : unit -> summary
+  (** Buffer totals across all domains that emitted events since the last
+      {!reset}. [dropped > 0] means the capacity was too small for the run
+      (raise it with {!set_capacity}); results are unaffected either way. *)
+
+  val reset : unit -> unit
+  (** Discard every buffer. Also performed by {!Obs.reset}. *)
+
+  val to_json_value : unit -> Obs_json.t
+  (** The recorded timeline as a Chrome trace-event JSON array (the "JSON
+      array format" accepted by Perfetto / chrome://tracing): one object
+      per event with [name], [cat], [ph] (["B"|"E"|"i"|"X"]), [ts]
+      (microseconds, relative to process start, clamped [>= 0]), [pid] 1
+      and the owning domain id as [tid]; [X] events carry [dur]
+      (microseconds). Each domain's stream is prefixed with an [M]
+      (metadata) [thread_name] event and, when events were dropped,
+      suffixed with a [trace.dropped] instant whose [args.count] is the
+      drop count.
+
+      Call after parallel work has quiesced (pools shut down / joined):
+      buffers are read without synchronisation. *)
+
+  val to_json : unit -> string
+
+  val write_file : string -> unit
+  (** Write {!to_json} (plus a trailing newline) to a file — the CLI's
+      [--trace-out FILE]. *)
+end
+
 module Span : sig
   val with_ : string -> (unit -> 'a) -> 'a
   (** [with_ name f] times [f ()] and accounts it to the trace-tree node
       [name] under the innermost enclosing span of the {e current domain}
       (pool workers therefore root their spans at the top level). Wall
       clock and call count accumulate across calls; reentrant and
-      exception-safe. When observability is disabled this is exactly
-      [f ()]. *)
+      exception-safe; durations are clamped to [>= 0] (wall clock). When
+      {!Trace.enabled}, entry and exit additionally emit [B]/[E] events on
+      the calling domain's timeline. When the whole subsystem is disabled
+      this is exactly [f ()]. *)
 
   type info = {
     name : string;

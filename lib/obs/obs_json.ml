@@ -173,7 +173,14 @@ let parse_number st =
       | Some f -> Float f
       | None -> fail st (Printf.sprintf "invalid number %S" s))
 
-let rec parse_value st =
+(* Containers may nest at most this deep. The recursive-descent parser
+   uses the OCaml stack, so an adversarial "[[[[..." document would
+   otherwise escape as [Stack_overflow] instead of a clean [Error]. *)
+let max_depth = 512
+
+let rec parse_value st depth =
+  if depth > max_depth then
+    fail st (Printf.sprintf "nesting deeper than %d levels" max_depth);
   skip_ws st;
   match peek st with
   | None -> fail st "unexpected end of input"
@@ -190,7 +197,7 @@ let rec parse_value st =
         let k = parse_string st in
         skip_ws st;
         expect st ':';
-        let v = parse_value st in
+        let v = parse_value st (depth + 1) in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -212,7 +219,7 @@ let rec parse_value st =
     end
     else begin
       let rec elems acc =
-        let v = parse_value st in
+        let v = parse_value st (depth + 1) in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -233,7 +240,7 @@ let rec parse_value st =
 
 let parse text =
   let st = { text; pos = 0 } in
-  match parse_value st with
+  match parse_value st 0 with
   | v ->
     skip_ws st;
     if st.pos <> String.length text then

@@ -23,7 +23,9 @@ val to_string : t -> string
 val parse : string -> (t, string) result
 (** Parse a complete JSON document; trailing garbage is an error. Numbers
     without ['.'], ['e'] or ['E'] parse as [Int] (falling back to [Float]
-    when they exceed the native int range). *)
+    when they exceed the native int range). Containers may nest at most
+    512 deep — beyond that [parse] returns [Error] instead of risking a
+    stack overflow. *)
 
 val member : string -> t -> t option
 (** [member key (Obj fields)] looks up [key]; [None] on other constructors. *)

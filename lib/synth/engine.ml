@@ -313,11 +313,13 @@ let run_pass ?pool objective opts vstate c =
               Circuit.overwrite c ~with_:before;
               vstate.refused <- vstate.refused + 1;
               Obs.Counter.incr verify_refused_c;
+              Obs.Trace.instant ~cat:"engine" "engine.verify_refused";
               false)
         in
         if sound then begin
           incr replacements;
           Obs.Counter.incr accepted_c;
+          Obs.Trace.instant ~cat:"engine" "engine.accepted";
           Array.iter
             (fun input -> if is_gate c input then marked.(input) <- true)
             cand.sub.Subcircuit.inputs

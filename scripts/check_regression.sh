@@ -1,0 +1,33 @@
+#!/bin/sh
+# Benchmark regression gate: run the deterministic micro section of the
+# bench harness and diff its snapshot against the committed baseline
+# (BENCH_results.json) with `sft bench-diff`.
+#
+# Only the gates/paths metrics are gated, at threshold 0: the micro
+# circuits are generated from fixed seeds, so their sizes are exactly
+# reproducible and any drift is a real behaviour change. Wall times and
+# speedups are machine-dependent and deliberately not gated here.
+#
+# Usage: scripts/check_regression.sh [BASELINE]
+# Exit:  0 no regression, 1 regression, 2 incomparable snapshots.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline=${1:-BENCH_results.json}
+if [ ! -f "$baseline" ]; then
+    echo "check_regression: baseline $baseline not found" >&2
+    exit 2
+fi
+
+dune build bin/sft_cli.exe bench/main.exe
+
+tmp=$(mktemp -t bench-smoke.XXXXXX.json)
+trap 'rm -f "$tmp"' EXIT INT TERM
+
+echo "check_regression: bench smoke run (--quick --only micro)..."
+dune exec --no-build bench/main.exe -- \
+    --quick --only micro --domains 2 --json "$tmp" > /dev/null
+
+dune exec --no-build bin/sft_cli.exe -- bench-diff "$baseline" "$tmp" \
+    --metrics gates,paths --threshold 0

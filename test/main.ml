@@ -26,6 +26,7 @@ let () =
       ("parallel", Test_parallel.suite);
       Helpers.qsuite "parallel-properties" Test_parallel.qchecks;
       ("obs", Test_obs.suite);
+      ("bench-diff", Test_bench_diff.suite);
       ("cec", Test_cec.suite);
       Helpers.qsuite "cec-properties" Test_cec.qchecks;
     ]

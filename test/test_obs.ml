@@ -131,6 +131,202 @@ let test_export_schema () =
                spans)
         | _ -> Alcotest.fail "trace list missing")
 
+let test_json_error_paths () =
+  let expect_error label s =
+    match Obs_json.parse s with
+    | Ok _ -> Alcotest.failf "%s: malformed input parsed" label
+    | Error msg ->
+      check bool_ (label ^ ": error message is non-empty") true (String.length msg > 0)
+  in
+  expect_error "unknown escape" "\"a\\qb\"";
+  expect_error "truncated unicode escape" "\"\\u00\"";
+  expect_error "non-hex unicode escape" "{\"u\": \"\\uZZZZ\"}";
+  expect_error "unterminated string" "\"abc";
+  expect_error "trailing garbage" "{\"a\": 1} extra";
+  expect_error "lone minus" "-";
+  expect_error "bare word" "nul";
+  expect_error "empty input" "   ";
+  (* Nesting is depth-limited (clean error, not Stack_overflow). *)
+  let deep n = String.make n '[' ^ String.make n ']' in
+  (match Obs_json.parse (deep 100) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth 100 rejected: %s" msg);
+  match Obs_json.parse (deep 100_000) with
+  | Ok _ -> Alcotest.fail "absurdly deep nesting parsed"
+  | Error msg ->
+    check bool_ "deep-nesting error names the limit" true
+      (String.length msg > 0)
+
+let test_histogram_edges () =
+  with_obs (fun () ->
+      let h = Obs.Histogram.make "test.obs.edges_h" in
+      Obs.Histogram.observe h 0;
+      Obs.Histogram.observe h 1;
+      Obs.Histogram.observe h (-5);
+      Obs.Histogram.observe h max_int;
+      check int_ "all edge observations counted" 4 (Obs.Histogram.count h);
+      check int_ "sum is exact" (max_int - 4) (Obs.Histogram.sum h);
+      (* The exporter must survive the extremes (min/max/buckets). *)
+      match Obs_json.parse (Obs.Export.to_json ()) with
+      | Error msg -> Alcotest.failf "export with edge values invalid: %s" msg
+      | Ok doc -> (
+        match
+          Option.bind (Obs_json.member "histograms" doc)
+            (Obs_json.member "test.obs.edges_h")
+        with
+        | Some hj ->
+          check bool_ "min exported" true
+            (Obs_json.member "min" hj = Some (Obs_json.Int (-5)));
+          check bool_ "max exported" true
+            (Obs_json.member "max" hj = Some (Obs_json.Int max_int))
+        | None -> Alcotest.fail "edge histogram missing from export"))
+
+(* --- event tracing -------------------------------------------------------- *)
+
+let with_trace f =
+  let cap0 = Obs.Trace.capacity () in
+  Obs.reset ();
+  Obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Trace.set_capacity cap0;
+      Obs.reset ())
+    f
+
+(* Count B/E balance and proper nesting per tid over an exported trace. *)
+let check_balanced events =
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun ev ->
+      let field k =
+        match Obs_json.member k ev with
+        | Some (Obs_json.String s) -> s
+        | _ -> ""
+      in
+      let tid =
+        match Obs_json.member "tid" ev with Some (Obs_json.Int t) -> t | _ -> -1
+      in
+      let s =
+        match Hashtbl.find_opt stacks tid with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add stacks tid s;
+          s
+      in
+      match field "ph" with
+      | "B" -> s := field "name" :: !s
+      | "E" -> (
+        match !s with
+        | top :: rest ->
+          check bool_ "E matches innermost B" true (top = field "name");
+          s := rest
+        | [] -> Alcotest.fail "E without matching B")
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun _ s -> check bool_ "no span left open" true (!s = []))
+    stacks
+
+let test_trace_disabled_is_silent () =
+  Obs.reset ();
+  Obs.Trace.disable ();
+  Obs.Trace.instant "test.trace.noop";
+  Obs.Trace.complete "test.trace.noop" ~ts:0. ~dur:1.;
+  let s = Obs.Trace.stats () in
+  check int_ "nothing recorded while disabled" 0 s.Obs.Trace.recorded;
+  check int_ "nothing dropped while disabled" 0 s.Obs.Trace.dropped
+
+let test_trace_records_and_exports () =
+  with_trace (fun () ->
+      Obs.Span.with_ "test.trace.outer" (fun () ->
+          Obs.Trace.instant ~cat:"test" "test.trace.tick";
+          Obs.Span.with_ "test.trace.inner" ignore);
+      Obs.Trace.complete ~cat:"test" "test.trace.block" ~ts:(Obs.now ()) ~dur:0.25;
+      let s = Obs.Trace.stats () in
+      check int_ "B+E pairs, instant and X recorded" 6 s.Obs.Trace.recorded;
+      check int_ "nothing dropped" 0 s.Obs.Trace.dropped;
+      match Obs_json.parse (Obs.Trace.to_json ()) with
+      | Error msg -> Alcotest.failf "trace export invalid: %s" msg
+      | Ok (Obs_json.List events) ->
+        check_balanced events;
+        let has name ph =
+          List.exists
+            (fun ev ->
+              Obs_json.member "name" ev = Some (Obs_json.String name)
+              && Obs_json.member "ph" ev = Some (Obs_json.String ph))
+            events
+        in
+        check bool_ "instant exported as i" true (has "test.trace.tick" "i");
+        check bool_ "complete exported as X" true (has "test.trace.block" "X");
+        check bool_ "thread metadata exported" true (has "thread_name" "M");
+        List.iter
+          (fun ev ->
+            (match Obs_json.member "pid" ev with
+            | Some (Obs_json.Int 1) -> ()
+            | _ -> Alcotest.fail "event without pid 1");
+            match Obs_json.member "ts" ev with
+            | Some (Obs_json.Float ts) ->
+              check bool_ "ts clamped to >= 0" true (ts >= 0.)
+            | Some (Obs_json.Int ts) ->
+              check bool_ "ts clamped to >= 0" true (ts >= 0)
+            | Some _ -> Alcotest.fail "non-numeric ts"
+            | None -> () (* M metadata carries no ts *))
+          events
+      | Ok _ -> Alcotest.fail "trace export is not an array")
+
+let test_trace_overflow_stays_balanced () =
+  with_trace (fun () ->
+      Obs.Trace.set_capacity 16;
+      (* The capacity applies to buffers created after the call; force a
+         fresh ring for this domain. *)
+      Obs.Trace.reset ();
+      for _ = 1 to 100 do
+        Obs.Span.with_ "test.trace.span" (fun () ->
+            Obs.Trace.instant "test.trace.tick")
+      done;
+      let s = Obs.Trace.stats () in
+      check bool_ "overflow drops are counted" true (s.Obs.Trace.dropped > 0);
+      check bool_ "recorded events bounded by capacity" true (s.Obs.Trace.recorded <= 16);
+      match Obs_json.parse (Obs.Trace.to_json ()) with
+      | Error msg -> Alcotest.failf "overflowed trace export invalid: %s" msg
+      | Ok (Obs_json.List events) ->
+        check_balanced events;
+        check bool_ "dropped-events marker present" true
+          (List.exists
+             (fun ev ->
+               Obs_json.member "name" ev = Some (Obs_json.String "trace.dropped"))
+             events)
+      | Ok _ -> Alcotest.fail "trace export is not an array")
+
+let test_campaign_unchanged_by_tracing () =
+  let c = mixed () in
+  let cfg = { Campaign.default with max_patterns = 2_048; domains = 2; seed = 9L } in
+  Obs.disable ();
+  Obs.Trace.disable ();
+  Obs.reset ();
+  let plain = Campaign.exec cfg (Circuit.copy c) in
+  let traced = with_trace (fun () -> Campaign.exec cfg (Circuit.copy c)) in
+  check bool_ "traced campaign is bit-identical" true (plain = traced);
+  let overflowed =
+    with_trace (fun () ->
+        Obs.Trace.set_capacity 16;
+        Obs.Trace.reset ();
+        (* Saturate this domain's buffer so every event of the campaign
+           itself lands in the overflow path. *)
+        for _ = 1 to 32 do
+          Obs.Trace.instant "test.trace.fill"
+        done;
+        let r = Campaign.exec cfg (Circuit.copy c) in
+        let s = Obs.Trace.stats () in
+        check bool_ "tiny buffers overflow during the campaign" true
+          (s.Obs.Trace.dropped > 0);
+        r)
+  in
+  check bool_ "campaign under buffer overflow is bit-identical" true
+    (plain = overflowed)
+
 let test_campaign_unchanged_by_obs () =
   let c = mixed () in
   let cfg = { Campaign.default with max_patterns = 2_048; domains = 2; seed = 9L } in
@@ -156,6 +352,12 @@ let suite =
     ("disabled probes record nothing", `Quick, test_disabled_probes_record_nothing);
     ("spans: nesting and call counts", `Quick, test_span_nesting);
     ("json: round-trip and errors", `Quick, test_json_roundtrip);
+    ("json: parser error paths", `Quick, test_json_error_paths);
+    ("histograms: edge observations", `Quick, test_histogram_edges);
     ("export: documented schema keys", `Quick, test_export_schema);
+    ("trace: disabled is silent", `Quick, test_trace_disabled_is_silent);
+    ("trace: records and exports events", `Quick, test_trace_records_and_exports);
+    ("trace: overflow stays balanced", `Quick, test_trace_overflow_stays_balanced);
+    ("campaign: trace on = trace off", `Quick, test_campaign_unchanged_by_tracing);
     ("campaign: obs on = obs off", `Quick, test_campaign_unchanged_by_obs);
   ]

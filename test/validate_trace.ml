@@ -1,0 +1,95 @@
+(* CI helper for the @trace-smoke alias: validate that a --trace-out file is
+   a well-formed Chrome trace-event JSON array (DESIGN.md §11).
+
+   Checks, per the trace-event format:
+     - the document is a JSON array of event objects;
+     - every event carries string "name"/"ph" and integer "pid"/"tid";
+     - "ph" is one of B, E, i, X, M;
+     - all events share a single pid;
+     - per tid, B and E events balance and nest properly (every E closes
+       the most recent open B of the same name);
+     - B/E/i/X events carry a non-negative numeric "ts" (and X a
+       non-negative "dur").
+
+   Usage: validate_trace.exe FILE *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_trace: " ^ m); exit 1) fmt
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else die "usage: validate_trace FILE" in
+  let text = In_channel.with_open_bin file In_channel.input_all in
+  let events =
+    match Obs_json.parse text with
+    | Ok (Obs_json.List events) -> events
+    | Ok _ -> die "%s: top-level value is not an array" file
+    | Error msg -> die "%s: invalid JSON: %s" file msg
+  in
+  let str_field ev key =
+    match Obs_json.member key ev with
+    | Some (Obs_json.String s) -> s
+    | _ -> die "%s: event without string %S field" file key
+  in
+  let int_field ev key =
+    match Obs_json.member key ev with
+    | Some (Obs_json.Int n) -> n
+    | _ -> die "%s: event without integer %S field" file key
+  in
+  let num_field ev key =
+    match Obs_json.member key ev with
+    | Some (Obs_json.Int n) -> float_of_int n
+    | Some (Obs_json.Float f) -> f
+    | _ -> die "%s: event without numeric %S field" file key
+  in
+  let pids = Hashtbl.create 4 in
+  let tids = Hashtbl.create 8 in
+  (* per-tid stack of open B event names *)
+  let open_spans : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of tid =
+    match Hashtbl.find_opt open_spans tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add open_spans tid s;
+      s
+  in
+  let n_events = ref 0 in
+  List.iter
+    (fun ev ->
+      incr n_events;
+      let name = str_field ev "name" in
+      let ph = str_field ev "ph" in
+      Hashtbl.replace pids (int_field ev "pid") ();
+      let tid = int_field ev "tid" in
+      Hashtbl.replace tids tid ();
+      (match ph with
+      | "B" | "E" | "i" | "X" ->
+        if num_field ev "ts" < 0. then die "%s: %s event %S with negative ts" file ph name
+      | "M" -> ()
+      | other -> die "%s: event %S with unknown phase %S" file name other);
+      match ph with
+      | "B" ->
+        let s = stack_of tid in
+        s := name :: !s
+      | "E" -> (
+        let s = stack_of tid in
+        match !s with
+        | top :: rest ->
+          if top <> name then
+            die "%s: tid %d: E %S closes open B %S (improper nesting)" file tid name top;
+          s := rest
+        | [] -> die "%s: tid %d: E %S without a matching B" file tid name)
+      | "X" ->
+        if num_field ev "dur" < 0. then die "%s: X event %S with negative dur" file name
+      | _ -> ())
+    events;
+  if !n_events = 0 then die "%s: empty trace (no events recorded)" file;
+  if Hashtbl.length pids <> 1 then
+    die "%s: expected a single pid, found %d" file (Hashtbl.length pids);
+  Hashtbl.iter
+    (fun tid s ->
+      match !s with
+      | [] -> ()
+      | top :: _ -> die "%s: tid %d: B %S left open at end of trace" file tid top)
+    open_spans;
+  Printf.printf "%s: trace valid (%d events, %d threads)\n" file !n_events
+    (Hashtbl.length tids)
