@@ -4,7 +4,7 @@
      --quick        smaller pattern budgets / single K (for CI-style runs)
      --full         paper-scale budgets where feasible
      --only IDS     comma-separated subset of: figures,table1,table2,table3,
-                    table4,table5,table6,table7,cec,ablations,micro
+                    table4,table5,table6,table7,cec,ablations,micro,kernels
      --only-circuits NAMES
                     comma-separated benchmark filter (e.g. irs1423,irs5378)
                     applied to the per-circuit sections (table2-7, cec);
@@ -129,9 +129,19 @@ type speedup_row = {
   sp_identical : bool;
 }
 
+(* Word-parallel kernels (DESIGN.md §12): baseline = the scalar reference,
+   accelerated = the shipping bit-parallel/cached path, on one domain. *)
+type kernel_row = {
+  kr_kernel : string;
+  kr_baseline_ns : float;
+  kr_accel_ns : float;
+  kr_identical : bool;
+}
+
 let json_sections : (string * string * float) list ref = ref []
 let json_circuits : (string * int * int * int * int) list ref = ref []
 let json_speedups : speedup_row list ref = ref []
+let json_kernels : kernel_row list ref = ref []
 
 let record_circuit name c =
   let row =
@@ -992,6 +1002,105 @@ and parallel_speedups () =
     }
 
 (* ------------------------------------------------------------------ *)
+(* Word-parallel kernels: the candidate-evaluation hot paths measured   *)
+(* against their scalar baselines, single-domain (DESIGN.md §12).       *)
+(* ------------------------------------------------------------------ *)
+
+let kernels () =
+  let report row =
+    json_kernels := row :: !json_kernels;
+    Printf.printf "%-28s scalar %10.1f ns/call  word %10.1f ns/call  speedup %5.2fx  %s\n%!"
+      row.kr_kernel row.kr_baseline_ns row.kr_accel_ns
+      (if row.kr_accel_ns > 0. then row.kr_baseline_ns /. row.kr_accel_ns else 0.)
+      (if row.kr_identical then "bit-identical" else "RESULTS DIFFER (bug!)")
+  in
+  let small =
+    Circuit_gen.generate
+      {
+        Circuit_gen.name = "micro";
+        n_pi = 24;
+        n_po = 16;
+        n_gates = 130;
+        depth = 10;
+        combine_pct = 25;
+        xor_pct = 4;
+        seed = 99L;
+      }
+  in
+  record_circuit "micro" small;
+  (* Every K=6 candidate cone of the micro circuit, the same workload the
+     resynthesis inner loop sees. *)
+  let subs =
+    Array.to_list (Circuit.topo_order small)
+    |> List.filter (fun id ->
+           match Circuit.kind small id with
+           | Gate.Input | Gate.Const0 | Gate.Const1 -> false
+           | _ -> true)
+    |> List.concat_map (fun root -> Subcircuit.enumerate ~k:6 ~max_candidates:16 small root)
+    |> Array.of_list
+  in
+  let reps = if !quick then 5 else 20 in
+  let calls = reps * Array.length subs in
+  let per_call secs = max 0. secs *. 1e9 /. float_of_int (max 1 calls) in
+  let scalar_tts = Array.map (Subcircuit.extract_scalar small) subs in
+  let word_tts = Array.map (Subcircuit.extract small) subs in
+  let _, t_scalar =
+    time_wall (fun () ->
+        for _ = 1 to reps do
+          Array.iter (fun s -> ignore (Subcircuit.extract_scalar small s)) subs
+        done)
+  in
+  let scratch = Array.make (Circuit.size small) 0L in
+  let _, t_word =
+    time_wall (fun () ->
+        for _ = 1 to reps do
+          Array.iter (fun s -> ignore (Subcircuit.extract ~scratch small s)) subs
+        done)
+  in
+  report
+    {
+      kr_kernel = "subcircuit_extract_k6";
+      kr_baseline_ns = per_call t_scalar;
+      kr_accel_ns = per_call t_word;
+      kr_identical =
+        (try Array.for_all2 Truthtable.equal scalar_tts word_tts
+         with Invalid_argument _ -> false);
+    };
+  (* Identification over the same cone functions: every call computed from
+     scratch vs the run-scoped cache (first encounter computes, repeats
+     hit — the steady state of a multi-pass optimisation run). *)
+  let verdicts_plain = Array.map Comparison_fn.identify_exact word_tts in
+  let cache = Comparison_fn.Cache.create () in
+  let cached_identify tt =
+    match Comparison_fn.Cache.find cache tt with
+    | Some v -> v
+    | None ->
+      let v = Comparison_fn.identify_exact tt in
+      Comparison_fn.Cache.add cache tt v;
+      v
+  in
+  let verdicts_cached = Array.map cached_identify word_tts in
+  let _, t_plain =
+    time_wall (fun () ->
+        for _ = 1 to reps do
+          Array.iter (fun tt -> ignore (Comparison_fn.identify_exact tt)) word_tts
+        done)
+  in
+  let _, t_cached =
+    time_wall (fun () ->
+        for _ = 1 to reps do
+          Array.iter (fun tt -> ignore (cached_identify tt)) word_tts
+        done)
+  in
+  report
+    {
+      kr_kernel = "identify_exact_cached";
+      kr_baseline_ns = per_call t_plain;
+      kr_accel_ns = per_call t_cached;
+      kr_identical = verdicts_plain = verdicts_cached;
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable snapshot (--json FILE). Schema: DESIGN.md,          *)
 (* "Parallel execution" section.                                        *)
 (* ------------------------------------------------------------------ *)
@@ -1064,6 +1173,18 @@ let write_json file =
            r.sp_identical))
     (List.rev !json_speedups);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"baseline_ns\": %.1f, \"accelerated_ns\": %.1f, \
+            \"speedup\": %.4f, \"identical_results\": %b}"
+           (json_escape r.kr_kernel) r.kr_baseline_ns r.kr_accel_ns
+           (if r.kr_accel_ns > 0. then r.kr_baseline_ns /. r.kr_accel_ns else 0.)
+           r.kr_identical))
+    (List.rev !json_kernels);
+  Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"cec\": [\n";
   List.iteri
     (fun i r ->
@@ -1107,6 +1228,7 @@ let () =
   section "cec" "SAT equivalence proofs of the resynthesised circuits" cec;
   section "ablations" "design-choice ablations" ablations;
   section "micro" "Bechamel micro-benchmarks" micro;
+  section "kernels" "word-parallel kernels vs scalar baselines" kernels;
   (match !json_file with
   | None -> ()
   | Some file -> (

@@ -207,7 +207,7 @@ let gen_cmd =
 
 let optimize_cmd =
   let run file bench objective k engine budget no_merge verify dontcares units
-      domains output metrics trace trace_out =
+      no_id_cache domains output metrics trace trace_out =
     with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let objective =
@@ -231,6 +231,7 @@ let optimize_cmd =
             verify_global = verify;
             use_dontcares = dontcares;
             max_units = units;
+            id_cache = not no_id_cache;
             domains;
           }
         in
@@ -270,12 +271,21 @@ let optimize_cmd =
       & info [ "units" ]
           ~doc:"Allow covers of up to this many comparison units (Sec. 6, issue 2).")
   in
+  let no_id_cache =
+    Arg.(
+      value & flag
+      & info [ "no-id-cache" ]
+          ~doc:
+            "Disable the run-scoped identification cache (results are \
+             bit-identical either way; this is a debugging escape hatch).")
+  in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Resynthesise with comparison units (Procedures 2 and 3 of the paper).")
     Term.(
       const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
-      $ verify $ dontcares $ units $ domains_arg $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
+      $ verify $ dontcares $ units $ no_id_cache $ domains_arg $ output_arg $ metrics_arg
+      $ trace_arg $ trace_out_arg)
 
 (* --- check ----------------------------------------------------------------- *)
 

@@ -49,13 +49,27 @@ let absolute picks n =
       v)
     picks
 
-type memos = {
-  sufpre_memo : (string, int list option) Hashtbl.t;
-  interval_memo : (string, int list option) Hashtbl.t;
-}
+(* Memo tables keyed on the packed-word truth tables themselves
+   ({!Truthtable.equal} / {!Truthtable.hash}) — no hex-string dumps, no
+   allocation per lookup. *)
+module TT = Hashtbl.Make (struct
+  type t = Truthtable.t
 
-let key1 g = Truthtable.to_string g
-let key2 g h = Truthtable.to_string g ^ "|" ^ Truthtable.to_string h
+  let equal = Truthtable.equal
+  let hash = Truthtable.hash
+end)
+
+module TTpair = Hashtbl.Make (struct
+  type t = Truthtable.t * Truthtable.t
+
+  let equal (a, b) (a', b') = Truthtable.equal a a' && Truthtable.equal b b'
+  let hash (a, b) = ((Truthtable.hash a * 0x01000193) lxor Truthtable.hash b) land max_int
+end)
+
+type memos = {
+  sufpre_memo : int list option TTpair.t;
+  interval_memo : int list option TT.t;
+}
 
 (* Shared-permutation search: exists an order of the current variables under
    which [g]'s ON-set is a suffix interval (or empty) and [h]'s ON-set is a
@@ -64,8 +78,8 @@ let rec sufpre ms g h =
   let k = Truthtable.arity g in
   if k = 0 then Some []
   else begin
-    let key = key2 g h in
-    match Hashtbl.find_opt ms.sufpre_memo key with
+    let key = (g, h) in
+    match TTpair.find_opt ms.sufpre_memo key with
     | Some r -> r
     | None ->
       let rec try_var x =
@@ -95,7 +109,7 @@ let rec sufpre ms g h =
         end
       in
       let r = try_var 1 in
-      Hashtbl.add ms.sufpre_memo key r;
+      TTpair.add ms.sufpre_memo key r;
       r
   end
 
@@ -107,8 +121,7 @@ let rec interval ms g =
   if is_full g then Some (List.init k (fun _ -> 1))
   else if is_empty g then None
   else begin
-    let key = key1 g in
-    match Hashtbl.find_opt ms.interval_memo key with
+    match TT.find_opt ms.interval_memo g with
     | Some r -> r
     | None ->
       let rec try_var x =
@@ -127,7 +140,7 @@ let rec interval ms g =
         end
       in
       let r = try_var 1 in
-      Hashtbl.add ms.interval_memo key r;
+      TT.add ms.interval_memo g r;
       r
   end
 
@@ -140,7 +153,7 @@ let spec_of_perm f perm ~complemented =
 
 let identify_exact f =
   let n = Truthtable.arity f in
-  let ms = { sufpre_memo = Hashtbl.create 64; interval_memo = Hashtbl.create 64 } in
+  let ms = { sufpre_memo = TTpair.create 64; interval_memo = TT.create 64 } in
   let from_picks complemented picks =
     let perm = Array.of_list (absolute picks n) in
     spec_of_perm f perm ~complemented
@@ -198,6 +211,19 @@ let identify engine rng f =
   match engine with
   | Exact -> identify_exact f
   | Sampled budget -> identify_sampled ~budget rng f
+
+(* --- Run-scoped identification cache ------------------------------------- *)
+
+module Cache = struct
+  type t = spec option TT.t
+
+  let create () = TT.create 4096
+  let find = TT.find_opt
+
+  let add c f verdict = if not (TT.mem c f) then TT.add c f verdict
+
+  let length = TT.length
+end
 
 (* --- Don't-care-aware identification ------------------------------------- *)
 

@@ -2,8 +2,9 @@
 
     Minterm indexing follows the paper: input [x_1] is the {e most} significant
     bit and [x_n] the least significant, so the minterm [x_1 x_2 ... x_n] has
-    decimal value [sum x_i * 2^(n-i)]. Internally bit [m] of the table is the
-    function value on minterm [m]. *)
+    decimal value [sum x_i * 2^(n-i)]. Internally bit [m land 63] of 64-bit
+    word [m lsr 6] is the function value on minterm [m]; every combinator
+    below works a word (64 minterms) at a time (DESIGN.md §12). *)
 
 type t
 
@@ -34,6 +35,20 @@ val hash : t -> int
 
 val of_minterms : int -> int list -> t
 (** [of_minterms n ms] is the [n]-input function whose ON-set is [ms]. *)
+
+val of_words : int -> int64 array -> t
+(** [of_words n ws] is the [n]-input function whose value on minterm [m] is
+    bit [m land 63] of [ws.(m lsr 6)] — the packed-word layout produced by
+    64-way bit-parallel simulation. [ws] must hold exactly
+    [max 1 (2^n / 64)] words (it is copied; padding bits above [2^n] are
+    ignored). *)
+
+val sim_pattern : int -> int64
+(** [sim_pattern p] (for [0 <= p <= 5]) is the standard bit-parallel
+    simulation word for index bit [p]: bit [j] is bit [p] of [j]. Within
+    every 64-minterm block, variable [x_i] of an [n]-input table takes the
+    values [sim_pattern (n - i)] when [n - i < 6] (higher variables are
+    constant across a block). *)
 
 val minterms : t -> int list
 (** Increasing order. *)

@@ -23,6 +23,7 @@ type options = {
   obs : bool;
   verify : verify;
   inject_unsound : int;
+  id_cache : bool;
 }
 
 let default_options =
@@ -42,6 +43,7 @@ let default_options =
     obs = false;
     verify = `Sampled 8;
     inject_unsound = 0;
+    id_cache = true;
   }
 
 (* Observability probes. [cut_size_h] and [realised_c] fire inside worker
@@ -60,6 +62,12 @@ let verify_refused_c =
 
 let verify_unknown_c =
   Obs.Counter.make ~help:"CEC checks hitting the conflict budget" "engine.verify_unknown"
+
+let idcache_hits_c =
+  Obs.Counter.make ~help:"identification verdicts served from the run cache" "idcache.hits"
+
+let idcache_misses_c =
+  Obs.Counter.make ~help:"identification verdicts computed and cached" "idcache.misses"
 
 type stats = {
   passes : int;
@@ -102,15 +110,18 @@ type candidate = {
 (* Build the replacement unit for a subcircuit, trying in order: a single
    comparison unit, a multi-unit cover (Sec. 6, issue 2), and a single unit
    under controllability don't-cares (Sec. 6, issue 1; each exploited
-   disagreement is proved unreachable first). *)
-let realise opts rng ~sim_batches ~cmp0 c sub tt =
+   disagreement is proved unreachable first). [identify] is the plain
+   identification engine, possibly wrapped in the run cache by the caller;
+   the don't-care and multi-unit fallbacks are rng-dependent and stay
+   uncached. *)
+let realise opts rng ~identify ~sim c sub tt =
   let n = Array.length sub.Subcircuit.inputs in
   let with_dontcares () =
     if not opts.use_dontcares then None
     else
-      match sim_batches with
+      match sim with
       | None -> None
-      | Some batches -> (
+      | Some (cmp0, batches) -> (
         let seen = Dontcare.observed cmp0 batches sub.Subcircuit.inputs in
         let dc = Truthtable.lnot seen in
         if Truthtable.is_const dc = Some false then None
@@ -137,7 +148,7 @@ let realise opts rng ~sim_batches ~cmp0 c sub tt =
       | Some cover -> Some (Multi_unit.build ~merge:opts.merge ~n cover, true)
       | None -> None
   in
-  match Comparison_fn.identify opts.engine rng tt with
+  match identify tt with
   | Some spec -> Some (Comparison_unit.build ~merge:opts.merge ~n spec, true)
   | None -> (
     (* a don't-care single unit is usually cheaper than a multi-unit cover *)
@@ -163,38 +174,73 @@ let candidate_seed base root idx =
 (* Enumeration stays serial; [realise] / truth-table extraction fan out
    across the pool. Results come back in enumeration order (deterministic
    ordered merge), so the fold over [better] below sees candidates in the
-   same order as a serial run and tie-breaks identically. *)
-let score_candidates ?pool opts ~sim_batches ~cmp0 labels c root =
+   same order as a serial run and tie-breaks identically.
+
+   The identification cache is never written during scoring: every
+   evaluation — worker or serial — looks up the frozen cache read-only and
+   records its misses locally; the orchestrating domain merges them below
+   once the whole batch is back. Deferring the serial merge too keeps
+   hit/miss counts identical across [domains] settings. *)
+let score_candidates ?pool ?cache opts ~sim labels c root =
   let subs =
     Array.of_list
       (Subcircuit.enumerate ~k:opts.k ~max_candidates:opts.max_candidates c root)
   in
   Obs.Counter.add candidates_c (Array.length subs);
-  let eval idx sub =
+  let eval scratch idx sub =
     let rng = Rng.create (candidate_seed opts.seed root idx) in
     Obs.Histogram.observe cut_size_h (Array.length sub.Subcircuit.inputs);
-    let tt = Subcircuit.extract c sub in
-    match realise opts rng ~sim_batches ~cmp0 c sub tt with
-    | None -> None
-    | Some (built, exact) ->
-      Obs.Counter.incr realised_c;
-      let gain = Subcircuit.removable_cost c sub - built.Comparison_unit.gates2 in
-      let new_paths = replaced_path_label labels sub built in
-      Some { sub; built; gain; new_paths; exact }
+    let tt = Subcircuit.extract ~scratch c sub in
+    let misses = ref [] in
+    let identify tt =
+      match cache with
+      | None -> Comparison_fn.identify opts.engine rng tt
+      | Some cache -> (
+        match Comparison_fn.Cache.find cache tt with
+        | Some verdict ->
+          Obs.Counter.incr idcache_hits_c;
+          verdict
+        | None ->
+          let verdict = Comparison_fn.identify opts.engine rng tt in
+          Obs.Counter.incr idcache_misses_c;
+          misses := (tt, verdict) :: !misses;
+          verdict)
+    in
+    let cand =
+      match realise opts rng ~identify ~sim c sub tt with
+      | None -> None
+      | Some (built, exact) ->
+        Obs.Counter.incr realised_c;
+        let gain = Subcircuit.removable_cost c sub - built.Comparison_unit.gates2 in
+        let new_paths = replaced_path_label labels sub built in
+        Some { sub; built; gain; new_paths; exact }
+    in
+    (cand, !misses)
   in
   let scored =
     match pool with
     | Some pool when Array.length subs > 1 ->
       (* Workers read the circuit concurrently; materialise the lazy
-         fanout cache up front so they never race to build it. *)
+         fanout cache up front so they never race to build it. Each worker
+         slot keeps its own extraction scratch for the batch. *)
       ignore (Circuit.fanouts c root);
       Pool.map_chunks pool ~chunk:1
-        ~state:(fun _ -> ())
-        ~f:(fun () idx sub -> eval idx sub)
-        subs
-    | _ -> Array.mapi eval subs
+        ~state:(fun _ -> Array.make (Circuit.size c) 0L)
+        ~f:eval subs
+    | _ ->
+      let scratch = Array.make (Circuit.size c) 0L in
+      Array.mapi (eval scratch) subs
   in
-  List.filter_map Fun.id (Array.to_list scored)
+  (match cache with
+  | None -> ()
+  | Some cache ->
+    Array.iter
+      (fun (_, misses) ->
+        List.iter
+          (fun (tt, verdict) -> Comparison_fn.Cache.add cache tt verdict)
+          (List.rev misses))
+      scored);
+  List.filter_map fst (Array.to_list scored)
 
 (* Strictly-better-than ordering for the two objectives. [current_paths] is
    the Procedure-1 label on the root before replacement. *)
@@ -246,22 +292,24 @@ let is_gate c id =
   | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
   | Gate.Xnor -> true
 
-let run_pass ?pool objective opts vstate c =
+let run_pass ?pool ?cache objective opts vstate c =
   let labels = Paths.labels c in
   let marked = Array.make (Circuit.size c) false in
   Array.iter (fun o -> if is_gate c o then marked.(o) <- true) (Circuit.outputs c);
   let order = Circuit.topo_order c in
   (* Simulation snapshot for don't-care analysis. Replacements only rewrite
      logic downstream of the gates still to be processed, so upstream node
-     values stay valid for the whole pass. *)
-  let cmp0 = Compiled.of_circuit c in
-  let sim_batches =
+     values stay valid for the whole pass. Compiling the circuit is pure
+     overhead when don't-cares are off, so it only happens here. *)
+  let sim =
     if opts.use_dontcares then begin
+      let cmp0 = Compiled.of_circuit c in
       let sim_rng = Rng.create (Int64.logxor opts.seed 0x5FCAL) in
       let n_pi = Array.length (Compiled.inputs cmp0) in
       Some
-        (Array.init 32 (fun _ ->
-             Compiled.simulate cmp0 (Array.init n_pi (fun _ -> Rng.next64 sim_rng))))
+        ( cmp0,
+          Array.init 32 (fun _ ->
+              Compiled.simulate cmp0 (Array.init n_pi (fun _ -> Rng.next64 sim_rng))) )
     end
     else None
   in
@@ -278,7 +326,7 @@ let run_pass ?pool objective opts vstate c =
             if better objective ~current_paths:labels.(g) cand best then Some cand
             else best)
           None
-          (score_candidates ?pool opts ~sim_batches ~cmp0 labels c g)
+          (score_candidates ?pool ?cache opts ~sim labels c g)
       in
       match chosen with
       | Some cand ->
@@ -342,6 +390,15 @@ let optimize_with ?pool objective opts c =
   let reference = if opts.verify_global then Some (Circuit.copy c) else None in
   let gates_before = Circuit.two_input_gate_count c in
   let paths_before = Paths.total c in
+  (* One identification cache per run, shared across candidates, roots and
+     passes. Only the exact engine's verdicts are cacheable: the sampled
+     engine consumes the per-candidate random stream, so replaying a cached
+     verdict would change results between cache-on and cache-off runs. *)
+  let cache =
+    match opts.engine with
+    | Comparison_fn.Exact when opts.id_cache -> Some (Comparison_fn.Cache.create ())
+    | Comparison_fn.Exact | Comparison_fn.Sampled _ -> None
+  in
   let passes = ref 0 in
   let replacements = ref 0 in
   let vstate = { attempts = 0; checks = 0; refused = 0 } in
@@ -350,7 +407,7 @@ let optimize_with ?pool objective opts c =
     incr passes;
     let r =
       Obs.Span.with_ "engine.pass" (fun () ->
-          run_pass ?pool objective opts vstate c)
+          run_pass ?pool ?cache objective opts vstate c)
     in
     replacements := !replacements + r;
     (match reference with

@@ -62,13 +62,20 @@ type options = {
           accepted replacement (1-based; [0] = never) by inverting the
           spliced root {e after} local verification, so only the {!verify}
           miter can catch it. Never set this outside tests. *)
+  id_cache : bool;
+      (** Share one {!Comparison_fn.Cache} across all candidates, roots and
+          passes of the run (DESIGN.md §12). Effective only with the
+          deterministic {!Comparison_fn.Exact} engine — sampled verdicts
+          depend on the candidate random stream and are never cached — so
+          results are bit-identical with the cache on or off, and for any
+          [domains] width. The CLI escape hatch is [--no-id-cache]. *)
 }
 
 val default_options : options
 (** K = 6, 64 candidates, exact identification, merging, local verification
     on, global verification off, at most 16 passes, seed 1, extensions off,
     [domains = 0] (auto), [obs = false], [verify = `Sampled 8],
-    [inject_unsound = 0]. *)
+    [inject_unsound = 0], [id_cache = true]. *)
 
 type stats = {
   passes : int;
@@ -89,5 +96,7 @@ val optimize : objective -> options -> Circuit.t -> stats
 
     Observability (when enabled): counters [engine.candidates],
     [engine.realised], [engine.accepted], [engine.verify_checks],
-    [engine.verify_refused], [engine.verify_unknown]; histogram
-    [engine.cut_size]; span [engine.pass] (one per resynthesis pass). *)
+    [engine.verify_refused], [engine.verify_unknown], [idcache.hits],
+    [idcache.misses]; histogram [engine.cut_size]; span [engine.pass] (one
+    per resynthesis pass). [extract.words] counts the 64-minterm words swept
+    by the bit-parallel extractor (see {!Subcircuit.extract}). *)

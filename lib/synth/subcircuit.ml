@@ -34,20 +34,27 @@ let cut_of c set =
         acc (Circuit.fanins c g))
     set ISet.empty
 
+(* Dedup gate sets on the sets themselves ([ISet.equal] with a mixed fold
+   hash) — no string keys, no per-push list/concat churn. *)
+module SetTbl = Hashtbl.Make (struct
+  type t = ISet.t
+
+  let equal = ISet.equal
+  let hash s = ISet.fold (fun e acc -> (acc * 0x01000193) lxor e) s 0x811C9DC5 land max_int
+end)
+
 let enumerate ~k ~max_candidates c root =
   if not (is_gate c root) then invalid_arg "Subcircuit.enumerate: root not a gate";
-  let seen = Hashtbl.create 64 in
+  let seen = SetTbl.create 64 in
   let results = ref [] in
   let count = ref 0 in
   let pushes = ref 0 in
   let push_budget = max 256 (max_candidates * 20) in
   let queue = Queue.create () in
-  let key set = String.concat "," (List.map string_of_int (ISet.elements set)) in
   let push set =
-    let id = key set in
-    if !pushes < push_budget && not (Hashtbl.mem seen id) then begin
+    if !pushes < push_budget && not (SetTbl.mem seen set) then begin
       incr pushes;
-      Hashtbl.add seen id ();
+      SetTbl.add seen set ();
       Queue.add set queue
     end
   in
@@ -76,12 +83,36 @@ let enumerate ~k ~max_candidates c root =
   done;
   List.rev !results
 
+(* Topological order of the member gates, computed locally: candidates are
+   a handful of gates, so walking the whole circuit's topo order per
+   extraction would dwarf the word-parallel sweep itself. *)
 let member_order c s =
-  let set = List.fold_left (fun acc g -> ISet.add g acc) ISet.empty s.gates in
-  Array.of_list
-    (List.filter (fun id -> ISet.mem id set) (Array.to_list (Circuit.topo_order c)))
+  let members = List.fold_left (fun acc g -> ISet.add g acc) ISet.empty s.gates in
+  let order = Array.make (List.length s.gates) 0 in
+  let placed = ref ISet.empty in
+  let idx = ref 0 in
+  let remaining = ref s.gates in
+  while !remaining <> [] do
+    let ready, waiting =
+      List.partition
+        (fun g ->
+          Array.for_all
+            (fun f -> (not (ISet.mem f members)) || ISet.mem f !placed)
+            (Circuit.fanins c g))
+        !remaining
+    in
+    if ready = [] then invalid_arg "Subcircuit: cyclic member set";
+    List.iter
+      (fun g ->
+        order.(!idx) <- g;
+        incr idx;
+        placed := ISet.add g !placed)
+      ready;
+    remaining := waiting
+  done;
+  order
 
-let extract c s =
+let extract_scalar c s =
   let n = Array.length s.inputs in
   if n > 16 then invalid_arg "Subcircuit.extract: too many inputs";
   let order = member_order c s in
@@ -106,6 +137,56 @@ let extract c s =
           values.(g) <- Gate.eval (Circuit.kind c g) vals)
         order;
       values.(s.root))
+
+let extract_words_c =
+  Obs.Counter.make ~help:"64-minterm words swept by bit-parallel extract" "extract.words"
+
+(* Bit-parallel extraction: every cut input gets its standard 64-bit
+   simulation pattern and the member gates are swept once per 64 minterms —
+   a single sweep for the default K <= 6. The [scratch] word buffer (one
+   slot per circuit node) is reused across candidates by the engine. *)
+let extract ?scratch c s =
+  let n = Array.length s.inputs in
+  if n > 16 then invalid_arg "Subcircuit.extract: too many inputs";
+  let order = member_order c s in
+  let values =
+    match scratch with
+    | Some v when Array.length v >= Circuit.size c -> v
+    | Some _ -> invalid_arg "Subcircuit.extract: scratch smaller than the circuit"
+    | None -> Array.make (Circuit.size c) 0L
+  in
+  (* Constant fanins keep a fixed word for the whole sweep. *)
+  Array.iter
+    (fun g ->
+      Array.iter
+        (fun f ->
+          match Circuit.kind c f with
+          | Gate.Const0 -> values.(f) <- 0L
+          | Gate.Const1 -> values.(f) <- -1L
+          | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand
+          | Gate.Nor | Gate.Xor | Gate.Xnor -> ())
+        (Circuit.fanins c g))
+    order;
+  let nw = if n <= 6 then 1 else 1 lsl (n - 6) in
+  let out = Array.make nw 0L in
+  for w = 0 to nw - 1 do
+    (* Minterm [64w + l]: variable x_(j+1) reads index bit n-1-j — bit l of
+       the standard pattern when in-block, bit (n-1-j-6) of w otherwise. *)
+    Array.iteri
+      (fun j input ->
+        let p = n - 1 - j in
+        values.(input) <-
+          (if p < 6 then Truthtable.sim_pattern p
+           else if w land (1 lsl (p - 6)) <> 0 then -1L
+           else 0L))
+      s.inputs;
+    Array.iter
+      (fun g -> values.(g) <- Gate.eval_word_on (Circuit.kind c g) values (Circuit.fanins c g))
+      order;
+    out.(w) <- values.(s.root)
+  done;
+  Obs.Counter.add extract_words_c nw;
+  Truthtable.of_words n out
 
 let removable_gates c s =
   let set = List.fold_left (fun acc g -> ISet.add g acc) ISet.empty s.gates in

@@ -25,9 +25,9 @@ dune build bin/sft_cli.exe bench/main.exe
 tmp=$(mktemp -t bench-smoke.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT INT TERM
 
-echo "check_regression: bench smoke run (--quick --only micro)..."
+echo "check_regression: bench smoke run (--quick --only micro,kernels)..."
 dune exec --no-build bench/main.exe -- \
-    --quick --only micro --domains 2 --json "$tmp" > /dev/null
+    --quick --only micro,kernels --domains 2 --json "$tmp" > /dev/null
 
 dune exec --no-build bin/sft_cli.exe -- bench-diff "$baseline" "$tmp" \
     --metrics gates,paths --threshold 0

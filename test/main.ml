@@ -4,6 +4,8 @@ let () =
       ("netlist", Test_netlist.suite);
       ("logic", Test_logic.suite);
       Helpers.qsuite "logic-properties" Test_logic.qchecks;
+      ("wordlevel", Test_wordlevel.suite);
+      Helpers.qsuite "wordlevel-properties" Test_wordlevel.qchecks;
       ("sim", Test_sim.suite);
       ("fault", Test_fault.suite);
       ("atpg", Test_atpg.suite);
