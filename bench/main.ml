@@ -4,7 +4,8 @@
      --quick        smaller pattern budgets / single K (for CI-style runs)
      --full         paper-scale budgets where feasible
      --only IDS     comma-separated subset of: figures,table1,table2,table3,
-                    table4,table5,table6,table7,cec,ablations,micro,kernels
+                    table4,table5,table6,table7,cec,ablations,micro,kernels,
+                    incremental
      --only-circuits NAMES
                     comma-separated benchmark filter (e.g. irs1423,irs5378)
                     applied to the per-circuit sections (table2-7, cec);
@@ -138,10 +139,27 @@ type kernel_row = {
   kr_identical : bool;
 }
 
+(* Incremental resynthesis (DESIGN.md §13): the cost of a second pass on a
+   large synthetic circuit, full re-enumeration vs dirty-region tracking,
+   plus the bit-identity checks CI gates on. *)
+type incr_row = {
+  in_circuit : string;
+  in_domains : int;
+  in_pass2_cuts_full : int;
+  in_pass2_cuts_incr : int;
+  in_reenum_fraction : float;
+  in_pass2_full_s : float;
+  in_pass2_incr_s : float;
+  in_speedup : float;
+  in_identical : bool; (* full = incremental = concurrent-commit *)
+  in_gate_ok : bool; (* identical && speedup >= 1 && fraction < 1 *)
+}
+
 let json_sections : (string * string * float) list ref = ref []
 let json_circuits : (string * int * int * int * int) list ref = ref []
 let json_speedups : speedup_row list ref = ref []
 let json_kernels : kernel_row list ref = ref []
+let json_incremental : incr_row list ref = ref []
 
 let record_circuit name c =
   let row =
@@ -1101,6 +1119,121 @@ let kernels () =
     }
 
 (* ------------------------------------------------------------------ *)
+(* Incremental resynthesis: second-pass cost on a large synthetic       *)
+(* circuit, full re-enumeration vs dirty-region tracking, and the       *)
+(* bit-identity of serial vs concurrent splice commits (DESIGN.md §13). *)
+(* ------------------------------------------------------------------ *)
+
+let incremental () =
+  (* Cut enumeration counts come from the engine.candidates counter, so
+     collection must be on even when no --json/--metrics sink asked for it
+     (this section registers last: earlier sections keep their baseline
+     probe cost when run together without a sink). *)
+  Obs.enable ();
+  let base =
+    Circuit_gen.generate
+      {
+        (* Wide and shallow with little cross-slice reconvergence: fanout
+           cones stay local, so pass-1 splices dirty only a small fraction
+           of the circuit and pass 2 shows the incremental win. *)
+        Circuit_gen.name = "incr-large";
+        n_pi = 400;
+        n_po = 360;
+        n_gates = (if !quick then 5200 else 10400);
+        depth = 4;
+        combine_pct = 1;
+        xor_pct = 4;
+        seed = 4242L;
+      }
+  in
+  record_circuit "incr-large" base;
+  let candidates_c = Obs.Counter.make "engine.candidates" in
+  let opts ~incremental ~passes ~domains ~commit_batch =
+    {
+      (proc2_options 4) with
+      Engine.max_candidates = 24;
+      max_passes = passes;
+      incremental;
+      commit_batch;
+      domains;
+    }
+  in
+  (* The timed configurations below are all serial (domains = 1), so they
+     are measured in process CPU time, not wall clock: the pass-2 cost is
+     a difference of two short runs and scheduler noise on a loaded box
+     would otherwise dominate it (the §8 wall-clock rationale only applies
+     to the parallel kernels). *)
+  let run o =
+    let c = Circuit.copy base in
+    let c0 = Obs.Counter.value candidates_c in
+    let t0 = Sys.time () in
+    let stats = Engine.optimize Engine.Gates o c in
+    let t = max 0. (Sys.time () -. t0) in
+    (stats, Bench_format.to_string c, Obs.Counter.value candidates_c - c0, t)
+  in
+  (* Even CPU time jitters (allocation, GC): keep the exactly reproducible
+     stats and counter deltas from one run, take the minimum time over a
+     few repetitions. *)
+  let run_best o =
+    let s, n, cuts, w0 = run o in
+    let w = ref w0 in
+    for _ = 2 to 3 do
+      let _, _, _, wi = run o in
+      if wi < !w then w := wi
+    done;
+    (s, n, cuts, !w)
+  in
+  (* Pass-2 cost = (two-pass run) - (one-pass run): cut counts are exact
+     (deterministic enumeration), wall clock is the measured difference. *)
+  let s1f, _, cuts1f, t1f = run_best (opts ~incremental:false ~passes:1 ~domains:1 ~commit_batch:1) in
+  let sf, nf, cuts2f, t2f = run_best (opts ~incremental:false ~passes:2 ~domains:1 ~commit_batch:1) in
+  let _, _, cuts1i, t1i = run_best (opts ~incremental:true ~passes:1 ~domains:1 ~commit_batch:1) in
+  let si, ni, cuts2i, t2i = run_best (opts ~incremental:true ~passes:2 ~domains:1 ~commit_batch:1) in
+  (* Concurrent commits: deferred batches on the --domains pool must land
+     the exact same netlist as immediate serial splices. *)
+  let sc, nc, _, _ = run (opts ~incremental:true ~passes:2 ~domains:!domains ~commit_batch:8) in
+  let pass2_cuts_full = max 0 (cuts2f - cuts1f) in
+  let pass2_cuts_incr = max 0 (cuts2i - cuts1i) in
+  let fraction =
+    if pass2_cuts_full = 0 then 1.
+    else float_of_int pass2_cuts_incr /. float_of_int pass2_cuts_full
+  in
+  let pass2_full_s = max 0. (t2f -. t1f) in
+  let pass2_incr_s = max 0. (t2i -. t1i) in
+  (* An unmeasurably cheap incremental pass counts as fast, not as a
+     division-by-zero failure of the gate. *)
+  let speedup =
+    if pass2_incr_s <= 0. then if pass2_full_s <= 0. then 1. else 99.99
+    else pass2_full_s /. pass2_incr_s
+  in
+  let identical = sf = si && sf = sc && nf = ni && nf = nc in
+  let row =
+    {
+      in_circuit = "incr-large";
+      in_domains = !domains;
+      in_pass2_cuts_full = pass2_cuts_full;
+      in_pass2_cuts_incr = pass2_cuts_incr;
+      in_reenum_fraction = fraction;
+      in_pass2_full_s = pass2_full_s;
+      in_pass2_incr_s = pass2_incr_s;
+      in_speedup = speedup;
+      in_identical = identical;
+      in_gate_ok = identical && speedup >= 1. && fraction < 1.;
+    }
+  in
+  json_incremental := row :: !json_incremental;
+  Printf.printf "incremental resynthesis on %s (%d two-input gates, %d replacements in pass 1)\n"
+    row.in_circuit
+    (Circuit.two_input_gate_count base)
+    s1f.Engine.replacements;
+  Printf.printf "  pass-2 cuts   full %8d   incremental %8d   (%.1f%% re-enumerated)\n"
+    pass2_cuts_full pass2_cuts_incr (100. *. fraction);
+  Printf.printf "  pass-2 cpu    full %7.3fs   incremental %7.3fs   (speedup %.2fx)\n"
+    pass2_full_s pass2_incr_s speedup;
+  Printf.printf "  identical results: %b (full vs incremental vs concurrent domains=%d)\n%!"
+    identical !domains
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable snapshot (--json FILE). Schema: DESIGN.md,          *)
 (* "Parallel execution" section.                                        *)
 (* ------------------------------------------------------------------ *)
@@ -1185,6 +1318,20 @@ let write_json file =
            r.kr_identical))
     (List.rev !json_kernels);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"incremental\": [\n";
+  List.iteri
+    (fun i r ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"circuit\": \"%s\", \"domains\": %d, \"pass2_cuts_full\": %d, \
+            \"pass2_cuts_incremental\": %d, \"reenum_fraction\": %.4f, \
+            \"pass2_full_seconds\": %.6f, \"pass2_incremental_seconds\": %.6f, \
+            \"speedup\": %.4f, \"identical_results\": %b, \"gate_ok\": %b}"
+           (json_escape r.in_circuit) r.in_domains r.in_pass2_cuts_full
+           r.in_pass2_cuts_incr r.in_reenum_fraction r.in_pass2_full_s
+           r.in_pass2_incr_s r.in_speedup r.in_identical r.in_gate_ok))
+    (List.rev !json_incremental);
+  Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"cec\": [\n";
   List.iteri
     (fun i r ->
@@ -1229,6 +1376,7 @@ let () =
   section "ablations" "design-choice ablations" ablations;
   section "micro" "Bechamel micro-benchmarks" micro;
   section "kernels" "word-parallel kernels vs scalar baselines" kernels;
+  section "incremental" "incremental resynthesis vs full re-enumeration" incremental;
   (match !json_file with
   | None -> ()
   | Some file -> (

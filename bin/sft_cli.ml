@@ -207,7 +207,7 @@ let gen_cmd =
 
 let optimize_cmd =
   let run file bench objective k engine budget no_merge verify dontcares units
-      no_id_cache domains output metrics trace trace_out =
+      no_id_cache incremental commit_batch domains output metrics trace trace_out =
     with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let objective =
@@ -232,6 +232,10 @@ let optimize_cmd =
             use_dontcares = dontcares;
             max_units = units;
             id_cache = not no_id_cache;
+            incremental =
+              Option.value incremental
+                ~default:Engine.default_options.Engine.incremental;
+            commit_batch;
             domains;
           }
         in
@@ -279,13 +283,42 @@ let optimize_cmd =
             "Disable the run-scoped identification cache (results are \
              bit-identical either way; this is a debugging escape hatch).")
   in
+  let incremental =
+    Arg.(
+      value
+      & vflag None
+          [
+            ( Some true,
+              info [ "incremental" ]
+                ~doc:
+                  "Track dirty regions across passes and re-enumerate only \
+                   roots whose footprint a splice touched (the default; \
+                   results are bit-identical to a full re-enumeration)." );
+            ( Some false,
+              info [ "no-incremental" ]
+                ~doc:
+                  "Re-enumerate every cut on every pass and commit each \
+                   splice immediately — the full (pre-incremental) engine, \
+                   kept as a debugging escape hatch." );
+          ])
+  in
+  let commit_batch =
+    Arg.(
+      value
+      & opt int Engine.default_options.Engine.commit_batch
+      & info [ "commit-batch" ] ~docv:"N"
+          ~doc:
+            "Defer up to $(docv) accepted splices and land them in one \
+             flush whose local verification fans out across --domains \
+             (1 commits immediately; results are bit-identical either way).")
+  in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Resynthesise with comparison units (Procedures 2 and 3 of the paper).")
     Term.(
       const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
-      $ verify $ dontcares $ units $ no_id_cache $ domains_arg $ output_arg $ metrics_arg
-      $ trace_arg $ trace_out_arg)
+      $ verify $ dontcares $ units $ no_id_cache $ incremental $ commit_batch
+      $ domains_arg $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- check ----------------------------------------------------------------- *)
 

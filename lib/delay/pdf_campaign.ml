@@ -199,7 +199,11 @@ let exec cfg c =
         pairs.(j) <- draw_pair ()
       done;
       let waves =
-        Pool.map pool ~chunk:1 (fun (v1, v2) -> Wave.simulate cmp ~v1 ~v2) pairs
+        (* A wave simulation is heavy, so fan-out pays off already at a
+           handful of pairs; only near-empty trailing blocks stay inline. *)
+        Pool.map pool ~chunk:1 ~serial_below:4
+          (fun (v1, v2) -> Wave.simulate cmp ~v1 ~v2)
+          pairs
       in
       let j = ref 0 in
       while (not !stop) && !j < m do

@@ -143,7 +143,12 @@ let run_internal cfg c =
           let base = !applied in
           let bno = !batch_no in
           Array.fill fresh_per_slot 0 nslots 0;
-          Pool.for_chunks pool ~n:n_faults (fun ~slot ~lo ~hi ->
+          (* Below ~256 faults a batch is microseconds of simulation: the
+             job hand-off plus the per-slot pattern reload cost more than
+             they recover, which is where the sub-1.0x pooled numbers on
+             small circuits came from. The cutoff decision shows up in the
+             pool.serial_cutoff / pool.parallel_jobs counters. *)
+          Pool.for_chunks pool ~serial_below:256 ~n:n_faults (fun ~slot ~lo ~hi ->
               let sim =
                 match sims.(slot) with
                 | Some sim -> sim

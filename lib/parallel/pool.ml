@@ -42,6 +42,19 @@ let domains_of_flag n = if n <= 0 then default_domains () else n
    registers nothing. *)
 let chunks_counter = lazy (Obs.Counter.make ~help:"pool chunks executed" "pool.chunks")
 
+(* Work-size cutoff accounting: submissions kept inline because they were
+   smaller than the caller's [serial_below] threshold vs. submissions that
+   actually fanned out. *)
+let cutoff_counter =
+  lazy
+    (Obs.Counter.make ~help:"pooled submissions run inline by the work-size cutoff"
+       "pool.serial_cutoff")
+
+let fanout_counter =
+  lazy
+    (Obs.Counter.make ~help:"pooled submissions fanned out across domains"
+       "pool.parallel_jobs")
+
 let busy_counters : (int, Obs.Counter.t) Hashtbl.t = Hashtbl.create 8
 let busy_mu = Mutex.create ()
 
@@ -140,7 +153,7 @@ let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let for_chunks t ?chunk ~n body =
+let for_chunks t ?chunk ?(serial_below = 0) ~n body =
   if n < 0 then invalid_arg "Pool.for_chunks: negative range";
   (* Chunk bodies are timed only when observability (metrics or event
      tracing) is on; the disabled path runs the raw body with no clock
@@ -161,7 +174,15 @@ let for_chunks t ?chunk ~n body =
   in
   if n > 0 then
     if t.n_domains <= 1 || n = 1 then body ~slot:0 ~lo:0 ~hi:n
+    else if n < serial_below then begin
+      (* Too little work to amortise job publication and wake-ups: run it
+         inline on the calling domain. Same code path as a 1-domain pool,
+         so results are unchanged by construction. *)
+      Obs.Counter.incr (Lazy.force cutoff_counter);
+      body ~slot:0 ~lo:0 ~hi:n
+    end
     else begin
+      Obs.Counter.incr (Lazy.force fanout_counter);
       let chunk =
         match chunk with
         | Some c when c > 0 -> c
@@ -201,14 +222,14 @@ let for_chunks t ?chunk ~n body =
       | None -> ()
     end
 
-let map_chunks t ?chunk ~state ~f arr =
+let map_chunks t ?chunk ?serial_below ~state ~f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
     (* Each slot only ever touches its own entry, so no locking. *)
     let states = Array.make t.n_domains None in
-    for_chunks t ?chunk ~n (fun ~slot ~lo ~hi ->
+    for_chunks t ?chunk ?serial_below ~n (fun ~slot ~lo ~hi ->
         let st =
           match states.(slot) with
           | Some st -> st
@@ -223,5 +244,5 @@ let map_chunks t ?chunk ~state ~f arr =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let map t ?chunk f arr =
-  map_chunks t ?chunk ~state:(fun _ -> ()) ~f:(fun () _ x -> f x) arr
+let map t ?chunk ?serial_below f arr =
+  map_chunks t ?chunk ?serial_below ~state:(fun _ -> ()) ~f:(fun () _ x -> f x) arr

@@ -58,7 +58,13 @@ val shutdown : t -> unit
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
 
-val for_chunks : t -> ?chunk:int -> n:int -> (slot:int -> lo:int -> hi:int -> unit) -> unit
+val for_chunks :
+  t ->
+  ?chunk:int ->
+  ?serial_below:int ->
+  n:int ->
+  (slot:int -> lo:int -> hi:int -> unit) ->
+  unit
 (** [for_chunks t ~n body] covers the range [0 .. n-1] with disjoint chunks
     [body ~slot ~lo ~hi] executed across the pool. [slot] identifies the
     executing participant ([0 <= slot < domains t]); a given slot is only
@@ -66,11 +72,21 @@ val for_chunks : t -> ?chunk:int -> n:int -> (slot:int -> lo:int -> hi:int -> un
     locking. [chunk] sets the chunk length (default: [n] split into about
     4 chunks per participant). Exceptions raised by [body] are re-raised
     in the caller after the whole submission has drained. With one domain
-    (or [n = 1]) this is exactly [body ~slot:0 ~lo:0 ~hi:n]. *)
+    (or [n = 1]) this is exactly [body ~slot:0 ~lo:0 ~hi:n].
+
+    [serial_below] (default 0: never) is the work-size cutoff: submissions
+    with [n < serial_below] run inline on the calling domain even on a
+    multi-domain pool, because publishing a job and waking workers costs
+    more than it buys on tiny ranges. The inline path is the same code the
+    1-domain pool runs, so the determinism contract is unaffected. Each
+    cutoff decision is recorded in the [pool.serial_cutoff] counter
+    (submissions kept inline) or [pool.parallel_jobs] (submissions fanned
+    out) when {!Obs.enabled}. *)
 
 val map_chunks :
   t ->
   ?chunk:int ->
+  ?serial_below:int ->
   state:(int -> 's) ->
   f:('s -> int -> 'a -> 'b) ->
   'a array ->
@@ -82,5 +98,5 @@ val map_chunks :
     satisfies [result.(i) = f st i arr.(i)] with indices in their original
     positions (deterministic ordered merge). *)
 
-val map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val map : t -> ?chunk:int -> ?serial_below:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_chunks] without per-worker state. *)

@@ -24,6 +24,8 @@ type options = {
   verify : verify;
   inject_unsound : int;
   id_cache : bool;
+  incremental : bool;
+  commit_batch : int;
 }
 
 let default_options =
@@ -44,6 +46,8 @@ let default_options =
     verify = `Sampled 8;
     inject_unsound = 0;
     id_cache = true;
+    incremental = true;
+    commit_batch = 8;
   }
 
 (* Observability probes. [cut_size_h] and [realised_c] fire inside worker
@@ -68,6 +72,19 @@ let idcache_hits_c =
 
 let idcache_misses_c =
   Obs.Counter.make ~help:"identification verdicts computed and cached" "idcache.misses"
+
+let dirty_regions_c =
+  Obs.Counter.make ~help:"splice footprints marked dirty" "engine.dirty_regions"
+
+let dirty_nodes_h =
+  Obs.Histogram.make ~help:"nodes newly dirtied per splice footprint" "engine.dirty_nodes"
+
+let reenum_skipped_c =
+  Obs.Counter.make ~help:"clean roots skipped without re-enumeration" "engine.reenum_skipped"
+
+let concurrent_commits_c =
+  Obs.Counter.make ~help:"splices landed through a multi-splice commit flush"
+    "engine.concurrent_commits"
 
 type stats = {
   passes : int;
@@ -171,6 +188,30 @@ let candidate_seed base root idx =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* Per-run scratch threaded through every pass: the persistent dirty set of
+   the incremental walk, the reusable enumeration dedup table, and the
+   serial extraction buffer. All three survive circuit growth — the dirty
+   set grows on demand, the dedup table is cleared per root, and the
+   scratch buffer is re-allocated when the circuit outgrows it. *)
+type run_state = {
+  dirty : Footprint.set;
+  dedup : Subcircuit.dedup;
+  mutable scratch : int64 array;
+}
+
+let make_run_state c =
+  {
+    dirty = Footprint.create ~all:true (Circuit.size c);
+    dedup = Subcircuit.dedup ();
+    scratch = [||];
+  }
+
+(* Below this many candidates a pooled scoring batch runs inline on the
+   calling domain: publishing a job and waking the workers costs more than
+   scoring a handful of cuts (the source of the sub-1.0x pooled "speedups"
+   on small circuits). Scheduling-only — results are unchanged. *)
+let score_serial_cutoff = 48
+
 (* Enumeration stays serial; [realise] / truth-table extraction fan out
    across the pool. Results come back in enumeration order (deterministic
    ordered merge), so the fold over [better] below sees candidates in the
@@ -181,10 +222,11 @@ let candidate_seed base root idx =
    records its misses locally; the orchestrating domain merges them below
    once the whole batch is back. Deferring the serial merge too keeps
    hit/miss counts identical across [domains] settings. *)
-let score_candidates ?pool ?cache opts ~sim labels c root =
+let score_candidates ?pool ?cache ~st opts ~sim labels c root =
   let subs =
     Array.of_list
-      (Subcircuit.enumerate ~k:opts.k ~max_candidates:opts.max_candidates c root)
+      (Subcircuit.enumerate ~dedup:st.dedup ~k:opts.k
+         ~max_candidates:opts.max_candidates c root)
   in
   Obs.Counter.add candidates_c (Array.length subs);
   let eval scratch idx sub =
@@ -224,12 +266,13 @@ let score_candidates ?pool ?cache opts ~sim labels c root =
          fanout cache up front so they never race to build it. Each worker
          slot keeps its own extraction scratch for the batch. *)
       ignore (Circuit.fanouts c root);
-      Pool.map_chunks pool ~chunk:1
+      Pool.map_chunks pool ~chunk:1 ~serial_below:score_serial_cutoff
         ~state:(fun _ -> Array.make (Circuit.size c) 0L)
         ~f:eval subs
     | _ ->
-      let scratch = Array.make (Circuit.size c) 0L in
-      Array.mapi (eval scratch) subs
+      if Array.length st.scratch < Circuit.size c then
+        st.scratch <- Array.make (Circuit.size c) 0L;
+      Array.mapi (eval st.scratch) subs
   in
   (match cache with
   | None -> ()
@@ -292,7 +335,18 @@ let is_gate c id =
   | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
   | Gate.Xnor -> true
 
-let run_pass ?pool ?cache objective opts vstate c =
+(* A splice decision not yet applied to the netlist (incremental mode with
+   [commit_batch > 1]): the winning candidate, its root, and the
+   accepted-splice index it drew — the index drives verification sampling
+   and the [inject_unsound] hook, so it is fixed at decision time and
+   replayed at flush. *)
+type pending = {
+  p_root : int;
+  p_cand : candidate;
+  p_idx : int;
+}
+
+let run_pass ?pool ?cache objective opts vstate st c =
   let labels = Paths.labels c in
   let marked = Array.make (Circuit.size c) false in
   Array.iter (fun o -> if is_gate c o then marked.(o) <- true) (Circuit.outputs c);
@@ -314,76 +368,202 @@ let run_pass ?pool ?cache objective opts vstate c =
     else None
   in
   let replacements = ref 0 in
+  let incremental = opts.incremental in
+  (* Deferred commits need the footprint machinery for their flush-on-touch
+     rule, so [--no-incremental] also forces immediate serial splices: that
+     is exactly the pre-incremental engine. *)
+  let batch = if incremental then max 1 opts.commit_batch else 1 in
+  let pending = ref [] (* newest first; flushed in decision order *) in
+  let npending = ref 0 in
+  (* Fanout closure of every deferred footprint: evaluating any root inside
+     it could observe a not-yet-applied splice, so it forces a flush. Reset
+     whenever the queue drains. *)
+  let pending_dirty = ref (Footprint.create 1) in
+  (* Pre-splice footprint of a decided candidate: its cut inputs (whose
+     fanout sets change), its member gates (which die), and everything
+     downstream of either. Marked before the splice mutates the netlist,
+     while the members' fanout edges still exist. *)
+  let footprint_seeds cand =
+    Array.fold_left
+      (fun acc input -> input :: acc)
+      cand.sub.Subcircuit.gates cand.sub.Subcircuit.inputs
+  in
+  let mark_decision cand =
+    let seeds = footprint_seeds cand in
+    Obs.Counter.incr dirty_regions_c;
+    Obs.Histogram.observe dirty_nodes_h
+      (Footprint.mark_fanout_cone c st.dirty seeds);
+    if batch > 1 then ignore (Footprint.mark_fanout_cone c !pending_dirty seeds)
+  in
+  (* Nodes the splice imported (ids allocated past [since]) and their fanout
+     cones: dirty so the next pass re-evaluates the rebuilt region. *)
+  let mark_fresh since =
+    let seeds = ref [] in
+    for id = Circuit.size c - 1 downto since do
+      if Circuit.is_alive c id then seeds := id :: !seeds
+    done;
+    ignore (Footprint.mark_fanout_cone c st.dirty !seeds)
+  in
+  (* Apply one decided splice. [pre_verified] means a concurrent flush
+     already ran the exhaustive local check. Returns false if the CEC miter
+     refused the replacement and rolled it back. *)
+  let commit_one ~pre_verified p =
+    let cand = p.p_cand in
+    (* Don't-care replacements intentionally differ from the subcircuit
+       function on proved-unreachable combinations, so the exhaustive
+       local check only applies to exact ones. *)
+    let verify_local = opts.verify_local && cand.exact && not pre_verified in
+    let snapshot =
+      if should_verify opts.verify p.p_idx then Some (Circuit.copy c) else None
+    in
+    let since = Circuit.size c in
+    let fresh = Replace.splice ~verify_local c cand.sub cand.built in
+    (if opts.inject_unsound = p.p_idx + 1 then
+       match inverted_kind (Circuit.kind c fresh) with
+       | Some k -> Circuit.set_kind c fresh k
+       | None -> ());
+    let sound =
+      match snapshot with
+      | None -> true
+      | Some before -> (
+        vstate.checks <- vstate.checks + 1;
+        Obs.Counter.incr verify_checks_c;
+        match Cec.check ?pool before c with
+        | Cec.Equivalent -> true
+        | Cec.Unknown _ ->
+          (* Budget exhausted is not evidence of unsoundness: the local
+             checks already passed, so the replacement stands. *)
+          Obs.Counter.incr verify_unknown_c;
+          true
+        | Cec.Counterexample _ ->
+          Circuit.overwrite c ~with_:before;
+          vstate.refused <- vstate.refused + 1;
+          Obs.Counter.incr verify_refused_c;
+          Obs.Trace.instant ~cat:"engine" "engine.verify_refused";
+          false)
+    in
+    if sound then begin
+      incr replacements;
+      Obs.Counter.incr accepted_c;
+      Obs.Trace.instant ~cat:"engine" "engine.accepted";
+      if incremental then mark_fresh since
+    end;
+    sound
+  in
+  (* Land the deferred queue. The read-only half — the exhaustive local
+     check of each pending replacement — touches only its own cone, pairwise
+     footprint-disjoint by the flush-on-touch rule, so it fans out across
+     the pool before any graph mutation. The mutating half stays serial in
+     decision order: that fixed tie-break is what keeps batched commits
+     bit-identical to immediate ones. *)
+  let flush () =
+    if !npending > 0 then begin
+      let ps = Array.of_list (List.rev !pending) in
+      pending := [];
+      npending := 0;
+      pending_dirty := Footprint.create (Circuit.size c);
+      Obs.Span.with_ "engine.commit_flush" (fun () ->
+          let m = Array.length ps in
+          let pre_verified =
+            match pool with
+            | Some pool when m > 1 && opts.verify_local ->
+              let ok =
+                Pool.map pool ~chunk:1
+                  (fun p ->
+                    (not p.p_cand.exact)
+                    || Replace.implements c p.p_cand.sub p.p_cand.built)
+                  ps
+              in
+              Array.iter (fun o -> if not o then Replace.reject ()) ok;
+              true
+            | _ -> false
+          in
+          Array.iter
+            (fun p ->
+              if commit_one ~pre_verified p then begin
+                if m > 1 then Obs.Counter.incr concurrent_commits_c
+              end
+              else begin
+                (* Refused and rolled back: the root survives with its old
+                   structure, but the walk is already past it — schedule it
+                   and its fanins for the next pass instead. *)
+                Footprint.add st.dirty p.p_root;
+                Array.iter
+                  (fun f -> if is_gate c f then Footprint.add st.dirty f)
+                  (Circuit.fanins c p.p_root)
+              end)
+            ps)
+    end
+  in
   (* Outputs towards inputs: descending topological positions. The paper's
      line numbering is BFS from the inputs; descending topological order
      visits every line after all lines it feeds, which is what Step 2 needs. *)
   for i = Array.length order - 1 downto 0 do
     let g = order.(i) in
     if is_gate c g && marked.(g) then begin
-      let chosen =
-        List.fold_left
-          (fun best cand ->
-            if better objective ~current_paths:labels.(g) cand best then Some cand
-            else best)
-          None
-          (score_candidates ?pool ?cache opts ~sim labels c g)
-      in
-      match chosen with
-      | Some cand ->
-        (* Don't-care replacements intentionally differ from the subcircuit
-           function on proved-unreachable combinations, so the exhaustive
-           local check only applies to exact ones. *)
-        let verify_local = opts.verify_local && cand.exact in
-        let idx = vstate.attempts in
-        vstate.attempts <- idx + 1;
-        let snapshot =
-          if should_verify opts.verify idx then Some (Circuit.copy c) else None
-        in
-        let fresh = Replace.splice ~verify_local c cand.sub cand.built in
-        (if opts.inject_unsound = idx + 1 then
-           match inverted_kind (Circuit.kind c fresh) with
-           | Some k -> Circuit.set_kind c fresh k
-           | None -> ());
-        let sound =
-          match snapshot with
-          | None -> true
-          | Some before -> (
-            vstate.checks <- vstate.checks + 1;
-            Obs.Counter.incr verify_checks_c;
-            match Cec.check ?pool before c with
-            | Cec.Equivalent -> true
-            | Cec.Unknown _ ->
-              (* Budget exhausted is not evidence of unsoundness: the local
-                 checks already passed, so the replacement stands. *)
-              Obs.Counter.incr verify_unknown_c;
-              true
-            | Cec.Counterexample _ ->
-              Circuit.overwrite c ~with_:before;
-              vstate.refused <- vstate.refused + 1;
-              Obs.Counter.incr verify_refused_c;
-              Obs.Trace.instant ~cat:"engine" "engine.verify_refused";
-              false)
-        in
-        if sound then begin
-          incr replacements;
-          Obs.Counter.incr accepted_c;
-          Obs.Trace.instant ~cat:"engine" "engine.accepted";
-          Array.iter
-            (fun input -> if is_gate c input then marked.(input) <- true)
-            cand.sub.Subcircuit.inputs
-        end
-        else
-          (* Unsound rewrite refused: the splice was rolled back, so [g] is
-             intact — continue as if no candidate had improved on it. *)
-          Array.iter
-            (fun input -> if is_gate c input then marked.(input) <- true)
-            (Circuit.fanins c g)
-      | None ->
+      let mark_fanins_of g =
         Array.iter
           (fun input -> if is_gate c input then marked.(input) <- true)
           (Circuit.fanins c g)
+      in
+      if incremental && not (Footprint.mem st.dirty g) then begin
+        (* Clean root: nothing its enumeration, scoring or don't-care
+           analysis reads has changed since it was last evaluated (and
+           rejected), so re-evaluation would reproduce that rejection
+           bit-exactly. Keep the walk moving and skip the work. *)
+        Obs.Counter.incr reenum_skipped_c;
+        mark_fanins_of g
+      end
+      else begin
+        (* About to read [g]'s region: any deferred splice whose footprint
+           reaches [g] must land first so the evaluation observes it. The
+           flush may splice [g] itself away (members of a deferred cone lie
+           upstream, still ahead of the walk) — the immediate-mode walk
+           would equally have found it dead, so just skip it then. *)
+        if !npending > 0 && Footprint.mem !pending_dirty g then flush ();
+        if is_gate c g then begin
+          if incremental then Footprint.remove st.dirty g;
+          let chosen =
+            List.fold_left
+              (fun best cand ->
+                if better objective ~current_paths:labels.(g) cand best then
+                  Some cand
+                else best)
+              None
+              (score_candidates ?pool ?cache ~st opts ~sim labels c g)
+          in
+          match chosen with
+          | Some cand ->
+            let idx = vstate.attempts in
+            vstate.attempts <- idx + 1;
+            let p = { p_root = g; p_cand = cand; p_idx = idx } in
+            if incremental then mark_decision cand;
+            if batch > 1 then begin
+              (* Defer the splice; treat it as accepted for the walk. A
+                 flush refusal cannot retract these marks — it reschedules
+                 the root for the next pass instead (see [flush]). *)
+              pending := p :: !pending;
+              incr npending;
+              Array.iter
+                (fun input -> if is_gate c input then marked.(input) <- true)
+                cand.sub.Subcircuit.inputs;
+              if !npending >= batch then flush ()
+            end
+            else if commit_one ~pre_verified:false p then
+              Array.iter
+                (fun input -> if is_gate c input then marked.(input) <- true)
+                cand.sub.Subcircuit.inputs
+            else
+              (* Unsound rewrite refused: the splice was rolled back, so
+                 [g] is intact — continue as if no candidate had improved
+                 on it. *)
+              mark_fanins_of g
+          | None -> mark_fanins_of g
+        end
+      end
     end
   done;
+  flush ();
   !replacements
 
 let optimize_with ?pool objective opts c =
@@ -402,12 +582,16 @@ let optimize_with ?pool objective opts c =
   let passes = ref 0 in
   let replacements = ref 0 in
   let vstate = { attempts = 0; checks = 0; refused = 0 } in
+  (* The dirty set starts all-true (first pass looks at everything) and
+     persists across passes: a pass only re-evaluates roots whose region
+     some earlier splice touched. *)
+  let st = make_run_state c in
   let continue = ref true in
   while !continue && !passes < opts.max_passes do
     incr passes;
     let r =
       Obs.Span.with_ "engine.pass" (fun () ->
-          run_pass ?pool ?cache objective opts vstate c)
+          run_pass ?pool ?cache objective opts vstate st c)
     in
     replacements := !replacements + r;
     (match reference with

@@ -69,13 +69,34 @@ type options = {
           depend on the candidate random stream and are never cached — so
           results are bit-identical with the cache on or off, and for any
           [domains] width. The CLI escape hatch is [--no-id-cache]. *)
+  incremental : bool;
+      (** Dirty-region tracking across passes (DESIGN.md §13): after each
+          accepted splice the transitive fanout footprint of the replaced
+          cone — its cut inputs, its member gates and everything downstream
+          of either, plus the imported unit gates — is marked dirty, and
+          later passes re-enumerate only dirty roots (the first pass sees
+          everything dirty). A clean root's evaluation would reproduce its
+          previous rejection bit-exactly, so skipping it never changes the
+          result: incremental runs are bit-identical to full re-enumeration,
+          at steady-state pass cost near-linear in the amount of logic that
+          changed. The CLI escape hatch is [--no-incremental]. *)
+  commit_batch : int;
+      (** Deferred-commit window for the incremental engine: up to this many
+          accepted splices queue before landing in one flush, whose
+          read-only local verification fans out across the [domains] pool
+          (the footprints are pairwise disjoint by the flush-on-touch rule)
+          while the graph mutations stay serial in decision order. [<= 1]
+          commits every splice immediately; ignored (treated as 1) when
+          [incremental] is off, since deferral rides on the footprint
+          machinery. Either way results are bit-identical. *)
 }
 
 val default_options : options
 (** K = 6, 64 candidates, exact identification, merging, local verification
     on, global verification off, at most 16 passes, seed 1, extensions off,
     [domains = 0] (auto), [obs = false], [verify = `Sampled 8],
-    [inject_unsound = 0], [id_cache = true]. *)
+    [inject_unsound = 0], [id_cache = true], [incremental = true],
+    [commit_batch = 8]. *)
 
 type stats = {
   passes : int;
@@ -96,7 +117,12 @@ val optimize : objective -> options -> Circuit.t -> stats
 
     Observability (when enabled): counters [engine.candidates],
     [engine.realised], [engine.accepted], [engine.verify_checks],
-    [engine.verify_refused], [engine.verify_unknown], [idcache.hits],
-    [idcache.misses]; histogram [engine.cut_size]; span [engine.pass] (one
-    per resynthesis pass). [extract.words] counts the 64-minterm words swept
-    by the bit-parallel extractor (see {!Subcircuit.extract}). *)
+    [engine.verify_refused], [engine.verify_unknown], [engine.dirty_regions]
+    (splice footprints marked dirty), [engine.reenum_skipped] (clean roots
+    skipped without re-enumeration), [engine.concurrent_commits] (splices
+    landed through a multi-splice flush), [idcache.hits], [idcache.misses];
+    histograms [engine.cut_size] and [engine.dirty_nodes] (nodes newly
+    dirtied per footprint); spans [engine.pass] (one per resynthesis pass)
+    and [engine.commit_flush] (one per deferred-commit flush).
+    [extract.words] counts the 64-minterm words swept by the bit-parallel
+    extractor (see {!Subcircuit.extract}). *)

@@ -43,9 +43,24 @@ module SetTbl = Hashtbl.Make (struct
   let hash s = ISet.fold (fun e acc -> (acc * 0x01000193) lxor e) s 0x811C9DC5 land max_int
 end)
 
-let enumerate ~k ~max_candidates c root =
+type dedup = unit SetTbl.t
+
+let dedup () = SetTbl.create 256
+
+let enumerate ?dedup ~k ~max_candidates c root =
   if not (is_gate c root) then invalid_arg "Subcircuit.enumerate: root not a gate";
-  let seen = SetTbl.create 64 in
+  (* A caller-supplied table is cleared, not rebuilt: [Hashtbl.clear] keeps
+     the bucket array, so once it has grown to a pass's working-set size the
+     steady state allocates nothing and never re-hashes to resize. Clearing
+     is mandatory for correctness — stale entries would dedup this root's
+     own seed away (every stored set contains its root). *)
+  let seen =
+    match dedup with
+    | Some tbl ->
+      SetTbl.clear tbl;
+      tbl
+    | None -> SetTbl.create 64
+  in
   let results = ref [] in
   let count = ref 0 in
   let pushes = ref 0 in

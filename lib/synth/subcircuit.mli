@@ -16,9 +16,19 @@ type t = {
 
 val pp : Format.formatter -> t -> unit
 
-val enumerate : k:int -> max_candidates:int -> Circuit.t -> int -> t list
+type dedup
+(** Reusable gate-set dedup table for {!enumerate}. *)
+
+val dedup : unit -> dedup
+(** A fresh empty table. The engine keeps one per optimisation run and
+    threads it through every enumeration, so the bucket array is allocated
+    and sized once instead of per root. *)
+
+val enumerate : ?dedup:dedup -> k:int -> max_candidates:int -> Circuit.t -> int -> t list
 (** All candidates rooted at a gate, smallest first (the single-gate
-    subcircuit is always first when it fits in [k] inputs). *)
+    subcircuit is always first when it fits in [k] inputs). [dedup] is an
+    optional caller-owned scratch table; it is cleared on entry, so results
+    are identical with or without it (a fresh table is used when absent). *)
 
 val extract : ?scratch:int64 array -> Circuit.t -> t -> Truthtable.t
 (** The function computed on [root] in terms of [inputs], by bit-parallel

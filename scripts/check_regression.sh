@@ -6,7 +6,10 @@
 # Only the gates/paths metrics are gated, at threshold 0: the micro
 # circuits are generated from fixed seeds, so their sizes are exactly
 # reproducible and any drift is a real behaviour change. Wall times and
-# speedups are machine-dependent and deliberately not gated here.
+# speedups are machine-dependent and deliberately not gated here — with
+# one exception: the `incremental` section compares the engine against
+# itself at identical domain counts, so its speedup (and its bit-identity
+# flag) must hold on any machine and is gated via `gate_ok` below.
 #
 # Usage: scripts/check_regression.sh [BASELINE]
 # Exit:  0 no regression, 1 regression, 2 incomparable snapshots.
@@ -25,9 +28,20 @@ dune build bin/sft_cli.exe bench/main.exe
 tmp=$(mktemp -t bench-smoke.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT INT TERM
 
-echo "check_regression: bench smoke run (--quick --only micro,kernels)..."
+echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental)..."
 dune exec --no-build bench/main.exe -- \
-    --quick --only micro,kernels --domains 2 --json "$tmp" > /dev/null
+    --quick --only micro,kernels,incremental --domains 2 --json "$tmp" > /dev/null
+
+# Incremental resynthesis gate: dirty-region tracking must reproduce the
+# full re-enumeration path bit-for-bit and not be slower than it.
+if grep -q '"identical_results": false' "$tmp"; then
+    echo "check_regression: incremental engine diverged from full path" >&2
+    exit 1
+fi
+if grep -q '"gate_ok": false' "$tmp"; then
+    echo "check_regression: incremental section gate failed (speedup < 1 or no cuts skipped)" >&2
+    exit 1
+fi
 
 dune exec --no-build bin/sft_cli.exe -- bench-diff "$baseline" "$tmp" \
     --metrics gates,paths --threshold 0

@@ -27,6 +27,8 @@ let () =
       Helpers.qsuite "extension-properties" Test_extensions.qchecks;
       ("parallel", Test_parallel.suite);
       Helpers.qsuite "parallel-properties" Test_parallel.qchecks;
+      ("incremental", Test_incremental.suite);
+      Helpers.qsuite "incremental-properties" Test_incremental.qchecks;
       ("obs", Test_obs.suite);
       ("bench-diff", Test_bench_diff.suite);
       ("cec", Test_cec.suite);

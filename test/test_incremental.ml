@@ -1,0 +1,228 @@
+(* Incremental, region-parallel resynthesis (DESIGN.md §13): dirty-region
+   tracking, deferred splice commits, the enumeration dedup table and the
+   pool work-size cutoff. The load-bearing property is bit-identity — every
+   incremental/batched/parallel configuration must reproduce the full
+   re-enumeration engine exactly. *)
+
+open Helpers
+
+(* --- Footprint ------------------------------------------------------------- *)
+
+let test_footprint_set () =
+  let s = Footprint.create 1 in
+  check int_ "empty" 0 (Footprint.count s);
+  check bool_ "no member" false (Footprint.mem s 0);
+  Footprint.add s 0;
+  Footprint.add s 100 (* forces growth *);
+  Footprint.add s 100;
+  check int_ "two members" 2 (Footprint.count s);
+  check bool_ "grown member" true (Footprint.mem s 100);
+  check bool_ "out of range" false (Footprint.mem s 101);
+  check bool_ "negative" false (Footprint.mem s (-1));
+  Footprint.remove s 100;
+  Footprint.remove s 100;
+  check int_ "after remove" 1 (Footprint.count s);
+  let all = Footprint.create ~all:true 4 in
+  check int_ "all-dirty" 4 (Footprint.count all);
+  check bool_ "all member" true (Footprint.mem all 3)
+
+let test_footprint_cone () =
+  (* mixed(): nb = NOT b feeds x1 and x2; x3 = XOR(x1, x2). The fanout cone
+     of nb is {nb, x1, x2, x3}; the inputs a, b, d stay clean. *)
+  let c = mixed () in
+  let order = Circuit.topo_order c in
+  let nb = order.(3) in
+  let s = Footprint.create (Circuit.size c) in
+  let added = Footprint.mark_fanout_cone c s [ nb ] in
+  check int_ "cone size" 4 added;
+  check int_ "count agrees" 4 (Footprint.count s);
+  check bool_ "nb dirty" true (Footprint.mem s nb);
+  Array.iteri
+    (fun i id ->
+      if i < 3 then check bool_ "input clean" false (Footprint.mem s id))
+    order;
+  (* re-marking from inside the cone adds nothing new *)
+  check int_ "idempotent" 0 (Footprint.mark_fanout_cone c s [ order.(4) ]);
+  (* a fresh seed outside the cone adds just itself (inputs have their
+     whole fanout already dirty here) *)
+  check int_ "input seed" 1 (Footprint.mark_fanout_cone c s [ order.(1) ])
+
+(* --- Subcircuit dedup reuse ------------------------------------------------- *)
+
+let test_enumerate_dedup_reuse () =
+  let dedup = Subcircuit.dedup () in
+  let same_on c =
+    Array.iter
+      (fun g ->
+        match Circuit.kind c g with
+        | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+        | _ ->
+          let fresh = Subcircuit.enumerate ~k:4 ~max_candidates:16 c g in
+          let reused = Subcircuit.enumerate ~dedup ~k:4 ~max_candidates:16 c g in
+          if fresh <> reused then
+            Alcotest.failf "root %d: dedup reuse changed enumeration" g)
+      (Circuit.topo_order c)
+  in
+  same_on (c17 ());
+  same_on (mixed ());
+  for seed = 1 to 5 do
+    same_on (random_circuit ~n_pi:6 ~n_gates:25 seed)
+  done
+
+(* --- Pool work-size cutoff -------------------------------------------------- *)
+
+let test_pool_serial_cutoff () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let n = 100 in
+      let slots = Array.make n (-1) in
+      Pool.for_chunks pool ~serial_below:1000 ~n (fun ~slot ~lo ~hi ->
+          for i = lo to hi - 1 do
+            slots.(i) <- slot
+          done);
+      check bool_ "below cutoff stays on the calling domain" true
+        (Array.for_all (fun s -> s = 0) slots);
+      let input = Array.init 257 (fun i -> i) in
+      let expect = Array.map (fun x -> x * 3) input in
+      check bool_ "map below cutoff" true
+        (Pool.map pool ~serial_below:1000 (fun x -> x * 3) input = expect);
+      check bool_ "map above cutoff" true
+        (Pool.map pool ~serial_below:10 (fun x -> x * 3) input = expect);
+      check bool_ "map at boundary" true
+        (Pool.map pool ~serial_below:257 (fun x -> x * 3) input = expect))
+
+(* --- Bit-identity: incremental = full re-enumeration ------------------------ *)
+
+let fingerprint objective options c0 =
+  let c = Circuit.copy c0 in
+  let stats =
+    match objective with
+    | Engine.Gates -> Procedure2.run ~options c
+    | Engine.Paths -> Procedure3.run ~options c
+  in
+  Check.validate c;
+  (stats, Bench_format.to_string c)
+
+let base =
+  { Engine.default_options with Engine.k = 4; max_candidates = 16; max_passes = 8 }
+
+let full = { base with Engine.incremental = false }
+
+let variants =
+  [
+    ("serial-commit", { base with Engine.incremental = true; commit_batch = 1 });
+    ("batched", { base with Engine.incremental = true; commit_batch = 4 });
+    ( "batched domains=3",
+      { base with Engine.incremental = true; commit_batch = 4; domains = 3 } );
+    ( "no-id-cache",
+      { base with Engine.incremental = true; id_cache = false } );
+  ]
+
+let identical_on objective c seed =
+  let want = fingerprint objective full c in
+  List.iter
+    (fun (label, options) ->
+      if fingerprint objective options c <> want then
+        Alcotest.failf "seed %d: incremental (%s) diverged from full path" seed
+          label)
+    variants
+
+let test_incremental_identity_gates () =
+  identical_on Engine.Gates (c17 ()) 0;
+  for seed = 120 to 130 do
+    identical_on Engine.Gates (random_circuit ~n_pi:6 ~n_gates:40 ~n_po:4 seed) seed
+  done
+
+let test_incremental_identity_paths () =
+  for seed = 131 to 138 do
+    identical_on Engine.Paths (random_circuit ~n_pi:6 ~n_gates:40 ~n_po:4 seed) seed
+  done
+
+let test_incremental_identity_extensions () =
+  (* don't-cares and multi-unit covers exercise the per-candidate rng and
+     the care-set verification path *)
+  let ext = { base with Engine.use_dontcares = true; max_units = 2 } in
+  let full = { ext with Engine.incremental = false } in
+  for seed = 140 to 144 do
+    let c = random_circuit ~n_pi:6 ~n_gates:32 ~n_po:4 seed in
+    let want = fingerprint Engine.Gates full c in
+    let got =
+      fingerprint Engine.Gates
+        { ext with Engine.incremental = true; commit_batch = 4 }
+        c
+    in
+    if got <> want then
+      Alcotest.failf "seed %d: incremental extensions diverged" seed
+  done
+
+let test_incremental_equivalence () =
+  (* The optimised circuit must stay functionally equal to the original
+     under the default (incremental, batched) options. *)
+  for seed = 150 to 156 do
+    let c = random_circuit ~n_pi:6 ~n_gates:36 ~n_po:4 seed in
+    let reference = Circuit.copy c in
+    ignore (Procedure2.run ~options:base c);
+    Check.validate c;
+    if not (Eval.equivalent_exhaustive reference c) then
+      Alcotest.failf "seed %d: incremental engine broke the function" seed
+  done
+
+let test_incremental_skips_clean_roots () =
+  (* A multi-pass run must actually skip work: the second pass re-enumerates
+     only dirty regions, so the skip counter moves. *)
+  let skipped = Obs.Counter.make "engine.reenum_skipped" in
+  let candidates = Obs.Counter.make "engine.candidates" in
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      let c = random_circuit ~n_pi:8 ~n_gates:120 ~n_po:6 160 in
+      let s0 = Obs.Counter.value skipped in
+      let stats = Procedure2.run ~options:base c in
+      let s1 = Obs.Counter.value skipped in
+      if stats.Engine.replacements > 0 && stats.Engine.passes > 1 then
+        check bool_ "clean roots were skipped" true (s1 - s0 > 0);
+      (* and a --no-incremental run never skips, but re-enumerates more *)
+      let c2 = random_circuit ~n_pi:8 ~n_gates:120 ~n_po:6 160 in
+      let s2 = Obs.Counter.value skipped in
+      let c0 = Obs.Counter.value candidates in
+      ignore (Procedure2.run ~options:{ base with Engine.incremental = false } c2);
+      check int_ "full path skips nothing" s2 (Obs.Counter.value skipped);
+      check bool_ "full path enumerates at least as much" true
+        (Obs.Counter.value candidates - c0 >= 0))
+
+(* --- qcheck: identity over generated circuits -------------------------------- *)
+
+let gen_profile seed =
+  {
+    Circuit_gen.name = "incr";
+    n_pi = 10;
+    n_po = 6;
+    n_gates = 70;
+    depth = 8;
+    combine_pct = 25;
+    xor_pct = 5;
+    seed = Int64.of_int seed;
+  }
+
+let prop_incremental_identity =
+  QCheck.Test.make ~name:"incremental = full (circuit_gen)" ~count:6
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let c = Circuit_gen.generate (gen_profile seed) in
+      let want = fingerprint Engine.Gates full c in
+      List.for_all
+        (fun (_, options) -> fingerprint Engine.Gates options c = want)
+        variants)
+
+let suite =
+  [
+    ("footprint: set operations", `Quick, test_footprint_set);
+    ("footprint: fanout cone marking", `Quick, test_footprint_cone);
+    ("enumerate: dedup reuse is invisible", `Quick, test_enumerate_dedup_reuse);
+    ("pool: work-size cutoff", `Quick, test_pool_serial_cutoff);
+    ("identity: gates objective", `Quick, test_incremental_identity_gates);
+    ("identity: paths objective", `Quick, test_incremental_identity_paths);
+    ("identity: don't-cares and multi-unit", `Quick, test_incremental_identity_extensions);
+    ("equivalence under default options", `Quick, test_incremental_equivalence);
+    ("second pass skips clean roots", `Quick, test_incremental_skips_clean_roots);
+  ]
+
+let qchecks = [ prop_incremental_identity ]
