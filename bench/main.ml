@@ -5,7 +5,7 @@
      --full         paper-scale budgets where feasible
      --only IDS     comma-separated subset of: figures,table1,table2,table3,
                     table4,table5,table6,table7,cec,ablations,micro,kernels,
-                    incremental
+                    incremental,sat_atpg
      --only-circuits NAMES
                     comma-separated benchmark filter (e.g. irs1423,irs5378)
                     applied to the per-circuit sections (table2-7, cec);
@@ -155,11 +155,28 @@ type incr_row = {
   in_gate_ok : bool; (* identical && speedup >= 1 && fraction < 1 *)
 }
 
+(* SAT-powered ATPG (DESIGN.md §14): how many faults the bounded PODEM
+   search abandons, and how many of those the exact SAT escalation settles
+   (test found or redundancy proved). [sa_escalation_ok] is the CI gate:
+   no fault may remain undecided after escalation. *)
+type sat_atpg_row = {
+  sa_circuit : string;
+  sa_survivors : int;
+  sa_aborted_before : int;
+  sa_sat_tests : int;
+  sa_sat_redundant : int;
+  sa_aborted_after : int;
+  sa_conflict_budget : int;
+  sa_escalation_ok : bool;
+  sa_seconds : float;
+}
+
 let json_sections : (string * string * float) list ref = ref []
 let json_circuits : (string * int * int * int * int) list ref = ref []
 let json_speedups : speedup_row list ref = ref []
 let json_kernels : kernel_row list ref = ref []
 let json_incremental : incr_row list ref = ref []
+let json_sat_atpg : sat_atpg_row list ref = ref []
 
 let record_circuit name c =
   let row =
@@ -709,6 +726,78 @@ let cec () =
   print_endline
     "every verdict must read `equivalent': resynthesis is function-preserving, and\n\
      each row is an unconditional SAT proof of that for the tables above."
+
+(* ------------------------------------------------------------------ *)
+(* SAT-powered ATPG — escalation of PODEM-aborted faults                *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the escalation path of DESIGN.md §14 on the raw (pre-removal)
+   stand-ins: random-pattern campaign for the easy faults, a deliberately
+   starved PODEM (low backtrack limit) to manufacture a realistic abort
+   worklist, then Sat_atpg.escalate to settle it exactly. The CI gate
+   (scripts/check_regression.sh) requires escalation_ok on every row:
+   no fault may remain undecided after the SAT pass. *)
+let sat_atpg () =
+  let t =
+    Table.create ~title:"SAT ATPG — escalation of PODEM-aborted faults (raw stand-ins)"
+      ~columns:
+        [ "circuit"; "survivors"; "podem aborts"; "sat tests"; "sat redundant";
+          "undecided"; "ok"; "seconds" ]
+  in
+  let entries =
+    if !quick then List.filter circuit_enabled [ Benchmarks.find "irs1423" ]
+    else bench_small ()
+  in
+  let podem_backtracks = 20 in
+  let limits = Limits.default in
+  List.iter
+    (fun e ->
+      let name = e.Benchmarks.name in
+      let c = Circuit_gen.generate e.Benchmarks.profile in
+      let (aborted, esc, survivors), secs =
+        time_wall (fun () ->
+            let cfg = { Campaign.default with max_patterns = 4096; seed = 7L } in
+            let _, survivors = Campaign.exec_survivors cfg c in
+            let stats =
+              Podem.generate_all ~backtrack_limit:podem_backtracks c survivors
+            in
+            let aborted = stats.Podem.aborted_faults in
+            let esc = Sat_atpg.escalate ~limits c aborted in
+            (List.length aborted, esc, List.length survivors))
+      in
+      let undecided = List.length esc.Sat_atpg.unknown in
+      let ok = undecided = 0 in
+      json_sat_atpg :=
+        {
+          sa_circuit = name;
+          sa_survivors = survivors;
+          sa_aborted_before = aborted;
+          sa_sat_tests = List.length esc.Sat_atpg.tests;
+          sa_sat_redundant = List.length esc.Sat_atpg.redundant;
+          sa_aborted_after = undecided;
+          sa_conflict_budget = limits.Limits.sat_conflicts;
+          sa_escalation_ok = ok;
+          sa_seconds = secs;
+        }
+        :: !json_sat_atpg;
+      Table.add_row t
+        [
+          name; Table.int survivors; Table.int aborted;
+          Table.int (List.length esc.Sat_atpg.tests);
+          Table.int (List.length esc.Sat_atpg.redundant);
+          Table.int undecided; (if ok then "yes" else "NO");
+          Printf.sprintf "%.2f" secs;
+        ];
+      List.iter
+        (fun (f, budget) ->
+          Printf.printf "  undecided after escalation: %s (budget %d conflicts)\n"
+            (Fault.to_string c f) budget)
+        esc.Sat_atpg.unknown)
+    entries;
+  Table.print t;
+  print_endline
+    "every SAT test vector is replay-validated against the fault simulator, and\n\
+     `ok' asserts that no PODEM abort survives the exact escalation pass."
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                            *)
@@ -1345,6 +1434,19 @@ let write_json file =
            r.cc_seconds))
     (List.rev !json_cec);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"sat_atpg\": [\n";
+  List.iteri
+    (fun i r ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"circuit\": \"%s\", \"survivors\": %d, \"aborted_before\": %d, \
+            \"sat_tests\": %d, \"sat_redundant\": %d, \"aborted_after\": %d, \
+            \"conflict_budget\": %d, \"escalation_ok\": %b, \"wall_seconds\": %.6f}"
+           (json_escape r.sa_circuit) r.sa_survivors r.sa_aborted_before
+           r.sa_sat_tests r.sa_sat_redundant r.sa_aborted_after
+           r.sa_conflict_budget r.sa_escalation_ok r.sa_seconds))
+    (List.rev !json_sat_atpg);
+  Buffer.add_string b "\n  ],\n";
   (* Schema v2: a summary of the event-tracing buffers, so a snapshot
      records whether its trace (if any) was complete or lossy. *)
   let ts = Obs.Trace.stats () in
@@ -1377,6 +1479,7 @@ let () =
   section "micro" "Bechamel micro-benchmarks" micro;
   section "kernels" "word-parallel kernels vs scalar baselines" kernels;
   section "incremental" "incremental resynthesis vs full re-enumeration" incremental;
+  section "sat_atpg" "SAT escalation of PODEM-aborted faults" sat_atpg;
   (match !json_file with
   | None -> ()
   | Some file -> (

@@ -417,31 +417,82 @@ let rar_cmd =
 (* --- redundancy ------------------------------------------------------------ *)
 
 let redundancy_cmd =
-  let run file bench seed output metrics trace trace_out =
+  let run file bench no_sat seed output metrics trace trace_out =
     with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
-        let report = Redundancy.remove ~seed c in
+        let report = Redundancy.remove ~sat:(not no_sat) ~seed c in
         Format.fprintf ppf "%a@." Redundancy.pp_report report;
         print_stats ppf c;
         save ppf output c)
   in
+  let no_sat =
+    Arg.(
+      value & flag
+      & info [ "no-sat" ]
+          ~doc:"Keep PODEM aborts undecided instead of escalating them to SAT.")
+  in
   Cmd.v
     (Cmd.info "redundancy" ~doc:"Remove stuck-at redundancies (the paper's [15] step).")
     Term.(
-      const run $ file_arg $ bench_arg $ seed_arg $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
+      const run $ file_arg $ bench_arg $ no_sat $ seed_arg $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- fsim ------------------------------------------------------------------ *)
 
+(* Shared by fsim/atpg: summarise a SAT escalation and list every residual
+   undecided fault with the conflict budget it exhausted. *)
+let pp_escalation ppf c (esc : Sat_atpg.escalation) =
+  Format.fprintf ppf "sat-atpg: escalated %d, tests %d, redundant %d, unknown %d@."
+    esc.Sat_atpg.escalated
+    (List.length esc.Sat_atpg.tests)
+    (List.length esc.Sat_atpg.redundant)
+    (List.length esc.Sat_atpg.unknown);
+  List.iter
+    (fun (f, budget) ->
+      Format.fprintf ppf "  undecided %a (budget %d conflicts)@." (Fault.pp c) f
+        budget)
+    esc.Sat_atpg.unknown
+
+let sat_atpg_flag =
+  Arg.(
+    value & flag
+    & info [ "sat-atpg" ]
+        ~doc:
+          "Escalate every fault PODEM aborts to the exact SAT decision \
+           procedure; proved-redundant faults are excluded from the coverage \
+           denominator.")
+
 let fsim_cmd =
-  let run file bench patterns domains seed metrics trace trace_out =
+  let run file bench patterns domains seed sat_atpg metrics trace trace_out =
     with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
-        let r =
-          Campaign.exec
-            { Campaign.default with max_patterns = patterns; domains; seed }
-            c
-        in
-        Format.fprintf ppf "%a@." Campaign.pp_result r)
+        let cfg = { Campaign.default with max_patterns = patterns; domains; seed } in
+        if not sat_atpg then
+          Format.fprintf ppf "%a@." Campaign.pp_result (Campaign.exec cfg c)
+        else begin
+          let r, survivors = Campaign.exec_survivors cfg c in
+          Format.fprintf ppf "%a@." Campaign.pp_result r;
+          let stats = Podem.generate_all c survivors in
+          Format.fprintf ppf "podem on %d survivors: tested %d, untestable %d, aborted %d@."
+            (List.length survivors) stats.Podem.tested stats.Podem.untestable
+            stats.Podem.aborted;
+          let esc = Sat_atpg.escalate c stats.Podem.aborted_faults in
+          pp_escalation ppf c esc;
+          let detected =
+            r.Campaign.detected + stats.Podem.tested
+            + List.length esc.Sat_atpg.tests
+          in
+          let redundant =
+            stats.Podem.untestable + List.length esc.Sat_atpg.redundant
+          in
+          let testable = r.Campaign.total_faults - redundant in
+          let coverage =
+            if testable = 0 then 100.0
+            else 100.0 *. float_of_int detected /. float_of_int testable
+          in
+          Format.fprintf ppf
+            "exact coverage: %d/%d testable faults (%.2f%%), %d redundant excluded@."
+            detected testable coverage redundant
+        end)
   in
   let patterns =
     Arg.(value & opt int 100_000 & info [ "patterns" ] ~doc:"Random pattern budget.")
@@ -450,23 +501,32 @@ let fsim_cmd =
     (Cmd.info "fsim" ~doc:"Random-pattern stuck-at fault simulation campaign (Table 6).")
     Term.(
       const run $ file_arg $ bench_arg $ patterns $ domains_arg $ seed_arg
-      $ metrics_arg $ trace_arg $ trace_out_arg)
+      $ sat_atpg_flag $ metrics_arg $ trace_arg $ trace_out_arg)
 
 (* --- atpg ------------------------------------------------------------------ *)
 
 let atpg_cmd =
-  let run file bench limit metrics trace trace_out =
+  let run file bench limit sat_atpg metrics trace trace_out =
     with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let faults = Fault.collapsed c in
         let stats = Podem.generate_all ~backtrack_limit:limit c faults in
         Format.fprintf ppf "faults %d: tested %d, untestable %d, aborted %d@."
           (List.length faults) stats.Podem.tested stats.Podem.untestable
-          stats.Podem.aborted)
+          stats.Podem.aborted;
+        if sat_atpg && stats.Podem.aborted > 0 then
+          pp_escalation ppf c (Sat_atpg.escalate c stats.Podem.aborted_faults))
   in
-  let limit = Arg.(value & opt int 1000 & info [ "backtracks" ] ~doc:"PODEM backtrack limit.") in
+  let limit =
+    Arg.(
+      value
+      & opt int Limits.default.Limits.podem_backtracks
+      & info [ "backtracks" ] ~doc:"PODEM backtrack limit.")
+  in
   Cmd.v (Cmd.info "atpg" ~doc:"Run PODEM on every collapsed stuck-at fault.")
-    Term.(const run $ file_arg $ bench_arg $ limit $ metrics_arg $ trace_arg $ trace_out_arg)
+    Term.(
+      const run $ file_arg $ bench_arg $ limit $ sat_atpg_flag $ metrics_arg
+      $ trace_arg $ trace_out_arg)
 
 (* --- pdf ------------------------------------------------------------------ *)
 

@@ -37,7 +37,8 @@ let miter a b =
   Circuit.mark_output ~name:"diff" m out;
   m
 
-let check ?(backtrack_limit = 20_000) ?(sim_patterns = 2048) ~seed a b =
+let check ?(backtrack_limit = Limits.default.Limits.equiv_backtracks)
+    ?(sim_patterns = 2048) ~seed a b =
   let m = miter a b in
   let cmp = Compiled.of_circuit m in
   let n_pi = Array.length (Compiled.inputs cmp) in

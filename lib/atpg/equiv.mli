@@ -14,4 +14,5 @@ val check :
   Circuit.t -> Circuit.t -> answer
 (** Random simulation first (fast counterexamples), then PODEM on the miter
     output stuck-at-0: the fault is untestable iff the miter never raises,
-    i.e. the circuits are equivalent. *)
+    i.e. the circuits are equivalent. Default backtrack limit:
+    {!Limits.default}.[equiv_backtracks]. *)

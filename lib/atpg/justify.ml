@@ -101,7 +101,8 @@ let rec search_rec st =
           st.pi_value.(pi) <- Tv.X;
           Exhausted)))
 
-let search ?(backtrack_limit = 200) ?rng ?prefer c targets =
+let search ?(backtrack_limit = Limits.default.Limits.justify_backtracks) ?rng ?prefer c
+    targets =
   let cmp = Compiled.of_circuit c in
   let size = Compiled.size cmp in
   let st =

@@ -19,7 +19,8 @@ val search :
   (int * bool) list ->
   verdict
 (** [search c targets] with [targets] a list of (node id, required value).
-    Default backtrack limit: 200. With [rng], backtrace tie-breaks are
+    Default backtrack limit: {!Limits.default}.[justify_backtracks]. With
+    [rng], backtrace tie-breaks are
     randomised, so repeated calls explore different witnesses; completeness
     of the [Unsat] verdict is unaffected. [prefer] supplies values for
     primary inputs the search left unassigned (default all-false); the

@@ -234,7 +234,8 @@ let rec search st =
     end
   end
 
-let generate ?(backtrack_limit = 1000) c (f : Fault.t) =
+let generate ?(backtrack_limit = Limits.default.Limits.podem_backtracks) c
+    (f : Fault.t) =
   let cmp = Compiled.of_circuit c in
   let stuck = Tv.of_bool f.Fault.stuck in
   let site_stem, fault_gate, fault_pin, stem_node =
@@ -277,6 +278,7 @@ type stats = {
   untestable : int;
   aborted : int;
   tests : (Fault.t * bool array) list;
+  aborted_faults : Fault.t list;
 }
 
 let generate_all ?backtrack_limit c faults =
@@ -286,6 +288,11 @@ let generate_all ?backtrack_limit c faults =
           match generate ?backtrack_limit c f with
           | Test v -> { acc with tested = acc.tested + 1; tests = (f, v) :: acc.tests }
           | Untestable -> { acc with untestable = acc.untestable + 1 }
-          | Aborted -> { acc with aborted = acc.aborted + 1 })
-        { tested = 0; untestable = 0; aborted = 0; tests = [] }
+          | Aborted ->
+            {
+              acc with
+              aborted = acc.aborted + 1;
+              aborted_faults = f :: acc.aborted_faults;
+            })
+        { tested = 0; untestable = 0; aborted = 0; tests = []; aborted_faults = [] }
         faults)

@@ -15,7 +15,7 @@ type outcome =
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val generate : ?backtrack_limit:int -> Circuit.t -> Fault.t -> outcome
-(** Default backtrack limit: 1000.
+(** Default backtrack limit: {!Limits.default}.[podem_backtracks].
 
     Observability (when enabled): counters [podem.decisions],
     [podem.backtracks], [podem.aborted]. *)
@@ -25,6 +25,9 @@ type stats = {
   untestable : int;
   aborted : int;
   tests : (Fault.t * bool array) list;
+  aborted_faults : Fault.t list;
+      (** the faults behind [aborted], most recent first — the worklist for
+          SAT escalation (see {!Sat_atpg.escalate}). *)
 }
 
 val generate_all : ?backtrack_limit:int -> Circuit.t -> Fault.t list -> stats

@@ -4,27 +4,48 @@
     stuck value without changing the circuit function; constant propagation
     then shrinks the logic. Removing one redundancy can change the status of
     others, so candidates are re-verified right before each removal and the
-    whole analysis iterates to a fixpoint. *)
+    whole analysis iterates to a fixpoint.
+
+    Proofs come from two engines: PODEM within {!Limits.t}[.podem_backtracks]
+    decides most faults, and every fault it aborts escalates to the exact
+    {!Sat_atpg} decision procedure (unless [~sat:false]), so a fault only
+    stays undecided when the SAT conflict budget also runs out. *)
 
 type report = {
   removed : int;  (** redundant faults removed (lines tied off) *)
-  aborted : int;  (** faults whose status remained unknown (kept) *)
+  proved_redundant_sat : int;
+      (** subset of [removed] whose justifying proof came from the SAT
+          escalation rather than PODEM *)
+  aborted : int;
+      (** faults left undecided by both engines in the final pass (kept) *)
   passes : int;
 }
 
 val pp_report : Format.formatter -> report -> unit
 
+type candidates = {
+  untestable : Fault.t list;  (** proved untestable by PODEM *)
+  sat_redundant : Fault.t list;
+      (** PODEM-aborted faults proved redundant by {!Sat_atpg} *)
+  unresolved : (Fault.t * int) list;
+      (** still undecided, with the exhausted conflict (SAT) or backtrack
+          (PODEM-only mode) budget *)
+}
+
 val find_untestable :
-  ?backtrack_limit:int ->
+  ?limits:Limits.t ->
+  ?sat:bool ->
   ?prefilter_patterns:int ->
   seed:int64 ->
   Circuit.t ->
-  Fault.t list * int
-(** Untestable collapsed faults (proved by PODEM after a random-pattern
-    prefilter) and the count of aborted proofs. *)
+  candidates
+(** Classify the collapsed faults surviving a random-pattern prefilter.
+    [sat] (default [true]) escalates PODEM aborts to {!Sat_atpg.escalate}
+    on a shared incremental solver. *)
 
 val remove :
-  ?backtrack_limit:int ->
+  ?limits:Limits.t ->
+  ?sat:bool ->
   ?prefilter_patterns:int ->
   seed:int64 ->
   Circuit.t ->
@@ -32,7 +53,8 @@ val remove :
 (** Remove redundancies in place (the circuit is mutated and swept). *)
 
 val make_irredundant :
-  ?backtrack_limit:int ->
+  ?limits:Limits.t ->
+  ?sat:bool ->
   ?prefilter_patterns:int ->
   seed:int64 ->
   Circuit.t ->

@@ -1,0 +1,191 @@
+(* SAT-based test generation and redundancy proofs for single stuck-at
+   faults. One incremental solver holds the good circuit; each fault adds
+   only its fanout cone as a faulty copy (nodes outside the cone share the
+   good copy's literals) plus an activation-guarded miter clause, so a
+   whole escalation sweep amortises the encoding and the learned clauses. *)
+
+type outcome =
+  | Test of bool array
+  | Redundant
+  | Unknown of int
+
+let pp_outcome ppf = function
+  | Test v ->
+    Format.fprintf ppf "test ";
+    Array.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) v
+  | Redundant -> Format.pp_print_string ppf "redundant"
+  | Unknown budget -> Format.fprintf ppf "unknown (budget %d conflicts)" budget
+
+let escalations_c =
+  Obs.Counter.make ~help:"faults escalated to SAT" "atpg.sat_escalations"
+
+let redundant_c =
+  Obs.Counter.make ~help:"faults proved redundant by SAT" "atpg.sat_redundant"
+
+type t = {
+  circuit : Circuit.t;
+  fsim : Fsim.t;
+  sat : Sat.t;
+  env : Cnf.env;
+  node_lit : int array;  (* good-copy literal per node id *)
+  pi_vars : int array;  (* solver variable per input position *)
+  budget : int;
+}
+
+let create ?(limits = Limits.default) c =
+  let cmp = Compiled.of_circuit c in
+  let sat = Sat.create () in
+  let env = Cnf.create sat in
+  let pi_vars = Array.map (fun _ -> Sat.new_var sat) (Circuit.inputs c) in
+  let pi_lits = Array.map Sat.lit pi_vars in
+  let node_lit = Cnf.encode_nodes env ~pi_lits c in
+  {
+    circuit = c;
+    fsim = Fsim.create cmp;
+    sat;
+    env;
+    node_lit;
+    pi_vars;
+    budget = limits.Limits.sat_conflicts;
+  }
+
+(* Fanout cone of [root] (root included), as a node-id mask: the only nodes
+   whose value a fault at/below [root] can change. *)
+let fanout_cone c root =
+  let mask = Array.make (Circuit.size c) false in
+  let rec visit id =
+    if not mask.(id) then begin
+      mask.(id) <- true;
+      List.iter visit (Circuit.fanouts c id)
+    end
+  in
+  visit root;
+  mask
+
+(* Encode the faulty copy of the fault's fanout cone; returns the faulty
+   literal per node ([Cnf.no_lit] outside the cone). Fanins outside the
+   cone read the good copy's literals — structural hashing then collapses
+   everything the fault cannot influence. *)
+let encode_faulty t (f : Fault.t) mask =
+  let c = t.circuit in
+  let env = t.env in
+  let stuck_lit = if f.Fault.stuck then Cnf.ltrue env else Cnf.lfalse env in
+  let flit = Array.make (Circuit.size c) Cnf.no_lit in
+  let fanin_lit gate pin fi =
+    let base = if mask.(fi) then flit.(fi) else t.node_lit.(fi) in
+    match f.Fault.site with
+    | Fault.Branch (g, p) when g = gate && p = pin -> stuck_lit
+    | _ -> base
+  in
+  Array.iter
+    (fun id ->
+      if mask.(id) then
+        flit.(id) <-
+          (match f.Fault.site with
+          | Fault.Stem u when u = id -> stuck_lit
+          | _ -> (
+            match Circuit.kind c id with
+            | Gate.Input -> t.node_lit.(id)
+            | Gate.Const0 -> Cnf.lfalse env
+            | Gate.Const1 -> Cnf.ltrue env
+            | kind ->
+              let fins = Circuit.fanins c id in
+              let args =
+                Array.to_list (Array.mapi (fun pin fi -> fanin_lit id pin fi) fins)
+              in
+              (match kind with
+              | Gate.Buf -> List.hd args
+              | Gate.Not -> Sat.neg (List.hd args)
+              | Gate.And -> Cnf.and_lits env args
+              | Gate.Or -> Cnf.or_lits env args
+              | Gate.Nand -> Sat.neg (Cnf.and_lits env args)
+              | Gate.Nor -> Sat.neg (Cnf.or_lits env args)
+              | Gate.Xor -> Cnf.xor_lits env args
+              | Gate.Xnor -> Sat.neg (Cnf.xor_lits env args)
+              | Gate.Input | Gate.Const0 | Gate.Const1 -> assert false))))
+    (Circuit.topo_order c);
+  flit
+
+let decode_model t =
+  Array.map (fun v -> Sat.value t.sat v) t.pi_vars
+
+(* Replay a SAT test vector through the fault simulator; the solver must
+   never fabricate a detecting vector the simulator rejects. *)
+let validate_test t f vec =
+  if not (Fsim.detect_single t.fsim f vec) then
+    failwith
+      "Sat_atpg.run: solver returned a vector the fault simulator does not \
+       confirm (solver or encoder bug)"
+
+let run t (f : Fault.t) =
+  Obs.Span.with_ "atpg.sat" (fun () ->
+      Obs.Counter.incr escalations_c;
+      let c = t.circuit in
+      let root =
+        match f.Fault.site with Fault.Stem u -> u | Fault.Branch (g, _) -> g
+      in
+      let mask = fanout_cone c root in
+      let flit = encode_faulty t f mask in
+      let diffs =
+        Array.to_list (Circuit.outputs c)
+        |> List.filter_map (fun o ->
+               if not mask.(o) then None
+               else
+                 let d = Cnf.xor_lits t.env [ t.node_lit.(o); flit.(o) ] in
+                 if d = Cnf.lfalse t.env then None else Some d)
+      in
+      match diffs with
+      | [] ->
+        (* Every reachable output hashes to its good-copy literal: the
+           fault provably never changes a primary output. *)
+        Obs.Counter.incr redundant_c;
+        Redundant
+      | _ ->
+        let act = Sat.lit (Sat.new_var t.sat) in
+        Sat.add_clause t.sat (Array.of_list (Sat.neg act :: diffs));
+        let options =
+          { Sat.Options.default with Sat.Options.budget = Some t.budget }
+        in
+        let result = Sat.solve_assuming ~options t.sat [| act |] in
+        (* Retire the miter either way: later queries must not pay for it. *)
+        Sat.add_clause t.sat [| Sat.neg act |];
+        (match result with
+        | Sat.Sat ->
+          let vec = decode_model t in
+          validate_test t f vec;
+          Test vec
+        | Sat.Unsat ->
+          Obs.Counter.incr redundant_c;
+          Redundant
+        | Sat.Unknown ->
+          Obs.Trace.instant ~cat:"atpg" "atpg.sat_budget_exhausted";
+          Unknown t.budget))
+
+type escalation = {
+  escalated : int;
+  tests : (Fault.t * bool array) list;
+  redundant : Fault.t list;
+  unknown : (Fault.t * int) list;
+}
+
+let escalate ?limits c faults =
+  match faults with
+  | [] -> { escalated = 0; tests = []; redundant = []; unknown = [] }
+  | _ ->
+    let t = create ?limits c in
+    let acc =
+      List.fold_left
+        (fun acc f ->
+          match run t f with
+          | Test v -> { acc with tests = (f, v) :: acc.tests }
+          | Redundant -> { acc with redundant = f :: acc.redundant }
+          | Unknown b -> { acc with unknown = (f, b) :: acc.unknown })
+        { escalated = List.length faults; tests = []; redundant = []; unknown = [] }
+        faults
+    in
+    {
+      acc with
+      tests = List.rev acc.tests;
+      redundant = List.rev acc.redundant;
+      unknown = List.rev acc.unknown;
+    }

@@ -1,0 +1,61 @@
+(** SAT-based exact test generation and redundancy proofs for stuck-at
+    faults.
+
+    The escalation tier above {!Podem}: where PODEM's bounded search answers
+    [Aborted], this module gives an exact verdict by encoding the fault
+    miter into the incremental {!Sat} solver. The good circuit is encoded
+    once per engine; for each fault only the {e fanout cone} of the fault
+    site is re-encoded as a faulty copy, reading the good copy's literals
+    for every fanin outside the cone — {!Cnf}'s structural hashing then
+    collapses all logic the fault cannot influence, so the per-fault miter
+    is proportional to the cone, not the circuit. Output differences are
+    XOR-ed, guarded behind a fresh activation literal, decided with
+    {!Sat.solve_assuming} and retired with a unit clause, which lets one
+    solver carry learned clauses across a whole fault list.
+
+    Soundness is asymmetric, mirroring [Cec]: a [Sat] model is decoded into
+    an input vector and replayed through {!Fsim} — a detecting vector is
+    never reported on the solver's word alone (a disagreement raises
+    [Failure]) — while [Redundant] rests on the UNSAT proof, which the test
+    suite cross-checks against exhaustive simulation on small circuits.
+
+    Observability (when enabled): counters [atpg.sat_escalations],
+    [atpg.sat_redundant] (plus the solver's own [sat.conflicts] and
+    [sat.propagations]); span [atpg.sat]. *)
+
+type outcome =
+  | Test of bool array
+      (** A detecting input vector (indexed like [Circuit.inputs]),
+          replay-verified by the fault simulator. *)
+  | Redundant  (** Proved undetectable: no input vector exposes the fault. *)
+  | Unknown of int
+      (** The conflict budget (payload) ran out before a verdict. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type t
+(** A per-circuit escalation engine: one incremental solver holding the
+    good-circuit CNF, the structural-hash environment and a fault simulator
+    for replay. Single-owner mutable state; invalidated if the circuit is
+    mutated after {!create}. *)
+
+val create : ?limits:Limits.t -> Circuit.t -> t
+(** Encode the (unmodified) circuit once. [limits.sat_conflicts] becomes
+    the per-fault conflict budget. *)
+
+val run : t -> Fault.t -> outcome
+(** Decide one fault on the shared engine. Cheap to call repeatedly: each
+    call adds the fault's cone and one activation variable, and retires the
+    miter afterwards. *)
+
+type escalation = {
+  escalated : int;  (** faults submitted *)
+  tests : (Fault.t * bool array) list;  (** detecting vectors found *)
+  redundant : Fault.t list;  (** proved undetectable *)
+  unknown : (Fault.t * int) list;
+      (** still undecided, with the exhausted conflict budget *)
+}
+
+val escalate : ?limits:Limits.t -> Circuit.t -> Fault.t list -> escalation
+(** Run every fault through one shared engine (created only when the list
+    is non-empty); result lists preserve the input order. *)

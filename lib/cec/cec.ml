@@ -1,4 +1,4 @@
-(* Miter-based combinational equivalence checking on top of Sat/Tseitin. *)
+(* Miter-based combinational equivalence checking on top of Sat/Cnf. *)
 
 exception Interface_mismatch of string
 
@@ -121,8 +121,8 @@ let encode_cone env ~pi_lits ~order ~input_pos c root =
         node_lit.(id) <-
           (match Circuit.kind c id with
           | Gate.Input -> pi_lits.(input_pos.(id))
-          | Gate.Const0 -> Tseitin.lfalse env
-          | Gate.Const1 -> Tseitin.ltrue env
+          | Gate.Const0 -> Cnf.lfalse env
+          | Gate.Const1 -> Cnf.ltrue env
           | kind ->
             let args =
               Array.to_list
@@ -131,12 +131,12 @@ let encode_cone env ~pi_lits ~order ~input_pos c root =
             (match kind with
             | Gate.Buf -> List.hd args
             | Gate.Not -> Sat.neg (List.hd args)
-            | Gate.And -> Tseitin.and_lits env args
-            | Gate.Or -> Tseitin.or_lits env args
-            | Gate.Nand -> Sat.neg (Tseitin.and_lits env args)
-            | Gate.Nor -> Sat.neg (Tseitin.or_lits env args)
-            | Gate.Xor -> Tseitin.xor_lits env args
-            | Gate.Xnor -> Sat.neg (Tseitin.xor_lits env args)
+            | Gate.And -> Cnf.and_lits env args
+            | Gate.Or -> Cnf.or_lits env args
+            | Gate.Nand -> Sat.neg (Cnf.and_lits env args)
+            | Gate.Nor -> Sat.neg (Cnf.or_lits env args)
+            | Gate.Xor -> Cnf.xor_lits env args
+            | Gate.Xnor -> Sat.neg (Cnf.xor_lits env args)
             | Gate.Input | Gate.Const0 | Gate.Const1 -> assert false)))
     order;
   node_lit.(root)
@@ -157,7 +157,7 @@ type pair_result = {
 let check_pair ~budget a b pi_map orders (i, j) =
   let order_a, order_b = orders in
   let sat = Sat.create () in
-  let env = Tseitin.create sat in
+  let env = Cnf.create sat in
   let n = Circuit.num_inputs a in
   let pi_lits_a = Array.init n (fun _ -> Sat.lit (Sat.new_var sat)) in
   let pi_lits_b = Array.map (fun k -> pi_lits_a.(k)) pi_map in
@@ -185,10 +185,11 @@ let check_pair ~budget a b pi_map orders (i, j) =
   if la = lb then { pr_verdict = Equivalent; pr_stats = stats () }
   else begin
     (* Assert the miter output: the two roots differ. *)
-    let diff = Tseitin.xor_lits env [ la; lb ] in
+    let diff = Cnf.xor_lits env [ la; lb ] in
     Sat.add_clause sat [| diff |];
     let verdict =
-      match Sat.solve ~budget sat with
+      let options = { Sat.Options.default with Sat.Options.budget = Some budget } in
+      match Sat.solve ~options sat with
       | Sat.Unsat -> Equivalent
       | Sat.Unknown -> Unknown budget
       | Sat.Sat ->
@@ -235,12 +236,12 @@ let add_stats s1 s2 =
    affordable on large circuits. *)
 let structural_filter a b pi_map pairs =
   let sat = Sat.create () in
-  let env = Tseitin.create sat in
+  let env = Cnf.create sat in
   let n = Circuit.num_inputs a in
   let pi_a = Array.init n (fun _ -> Sat.lit (Sat.new_var sat)) in
   let pi_b = Array.map (fun k -> pi_a.(k)) pi_map in
-  let la = Tseitin.encode env ~pi_lits:pi_a a in
-  let lb = Tseitin.encode env ~pi_lits:pi_b b in
+  let la = Cnf.encode env ~pi_lits:pi_a a in
+  let lb = Cnf.encode env ~pi_lits:pi_b b in
   Array.of_list
     (List.filter (fun (i, j) -> la.(i) <> lb.(j)) (Array.to_list pairs))
 
@@ -302,3 +303,10 @@ let check_stats ?(budget = default_budget) ?pool a b =
       (verdict, stats))
 
 let check ?budget ?pool a b = fst (check_stats ?budget ?pool a b)
+
+(* Deprecated re-exports: the solver and encoder moved to the standalone
+   sft.sat library. Kept one release, mirroring the PR-2/PR-3 convention. *)
+module Sat_alias = Sat
+module Tseitin_alias = Cnf
+module Sat = Sat_alias
+module Tseitin = Tseitin_alias

@@ -197,10 +197,17 @@ let exec cfg c =
   let r, _, _ = run_internal cfg c in
   r
 
-let survivors cfg c =
-  let _, fault_list, alive = run_internal cfg c in
+let collect_alive fault_list alive =
   let acc = ref [] in
   for i = Array.length fault_list - 1 downto 0 do
     if alive.(i) then acc := fault_list.(i) :: !acc
   done;
   !acc
+
+let survivors cfg c =
+  let _, fault_list, alive = run_internal cfg c in
+  collect_alive fault_list alive
+
+let exec_survivors cfg c =
+  let r, fault_list, alive = run_internal cfg c in
+  (r, collect_alive fault_list alive)

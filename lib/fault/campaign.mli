@@ -50,3 +50,8 @@ val exec : config -> Circuit.t -> result
 
 val survivors : config -> Circuit.t -> Fault.t list
 (** The faults left undetected by the same campaign as {!exec}. *)
+
+val exec_survivors : config -> Circuit.t -> result * Fault.t list
+(** {!exec} and {!survivors} from one simulation run — the form the
+    SAT-escalating campaign driver needs, where the survivor list feeds
+    deterministic ATPG and the result keeps the coverage accounting. *)

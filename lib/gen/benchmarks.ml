@@ -95,7 +95,9 @@ let cached e = cached_file e.name <> None
 let prepare e =
   let raw = Circuit_gen.generate e.profile in
   let irredundant, _report =
-    Redundancy.make_irredundant ~backtrack_limit:400 ~prefilter_patterns:8192
+    Redundancy.make_irredundant
+      ~limits:{ Limits.default with Limits.podem_backtracks = 400 }
+      ~prefilter_patterns:8192
       ~seed:(Int64.add e.profile.Circuit_gen.seed 77L) raw
   in
   Circuit.set_name irredundant e.name;

@@ -177,7 +177,9 @@ let optimize ?(options = default_options) c =
   let removal_seed = ref (Rng.next64 rng) in
   let remove () =
     let r =
-      Redundancy.remove ~backtrack_limit:opts.removal_backtracks
+      Redundancy.remove
+        ~limits:
+          { Limits.default with Limits.podem_backtracks = opts.removal_backtracks }
         ~prefilter_patterns:16_384 ~seed:!removal_seed c
     in
     removal_seed := Rng.next64 rng;

@@ -16,8 +16,10 @@ let create sat =
   Sat.add_clause sat [| tlit |];
   { sat; tlit; cache = Hashtbl.create 256 }
 
+let solver env = env.sat
 let ltrue env = env.tlit
 let lfalse env = Sat.neg env.tlit
+let no_lit = min_int
 
 (* Sorted fanin list with constants folded and duplicates removed; [None]
    when a complementary pair (or constant false) forces the conjunction to
@@ -85,7 +87,7 @@ let xor_lits env lits = List.fold_left (xor2 env) (lfalse env) lits
 let encode_kind env kind args =
   let args = Array.to_list args in
   match (kind : Gate.kind) with
-  | Gate.Input -> invalid_arg "Tseitin.encode_kind: Input"
+  | Gate.Input -> invalid_arg "Cnf.encode_kind: Input"
   | Gate.Const0 -> lfalse env
   | Gate.Const1 -> env.tlit
   | Gate.Buf -> List.hd args
@@ -97,11 +99,11 @@ let encode_kind env kind args =
   | Gate.Xor -> xor_lits env args
   | Gate.Xnor -> Sat.neg (xor_lits env args)
 
-let encode env ~pi_lits c =
+let encode_nodes env ~pi_lits c =
   let inputs = Circuit.inputs c in
   if Array.length pi_lits < Array.length inputs then
-    invalid_arg "Tseitin.encode: not enough input literals";
-  let node_lit = Array.make (Circuit.size c) min_int in
+    invalid_arg "Cnf.encode_nodes: not enough input literals";
+  let node_lit = Array.make (Circuit.size c) no_lit in
   Array.iteri (fun j id -> node_lit.(id) <- pi_lits.(j)) inputs;
   Array.iter
     (fun id ->
@@ -111,4 +113,8 @@ let encode env ~pi_lits c =
         let args = Array.map (fun f -> node_lit.(f)) (Circuit.fanins c id) in
         node_lit.(id) <- encode_kind env kind args)
     (Circuit.topo_order c);
+  node_lit
+
+let encode env ~pi_lits c =
+  let node_lit = encode_nodes env ~pi_lits c in
   Array.map (fun o -> node_lit.(o)) (Circuit.outputs c)

@@ -9,9 +9,10 @@
     Structural hashing keys every [And]/[Xor] node on its (sorted, constant-
     folded, deduplicated) fanin literals: encoding two circuits into the same
     environment collapses their shared logic to shared variables. This is
-    what makes per-replacement miters in the resynthesis engine cheap — the
-    untouched cone of both snapshots maps to the {e same} literals and drops
-    out of the equivalence problem entirely. *)
+    what makes per-replacement miters in the resynthesis engine cheap, and
+    what lets {!Sat_atpg} encode a faulty cone against the good circuit —
+    the untouched cone of both copies maps to the {e same} literals and
+    drops out of the problem entirely. *)
 
 type env
 (** An encoding environment: a solver plus the structural-hash table and the
@@ -21,11 +22,18 @@ val create : Sat.t -> env
 (** Fresh environment over [sat]; allocates the constant-true variable and
     asserts it with a unit clause. *)
 
+val solver : env -> Sat.t
+(** The solver this environment encodes into. *)
+
 val ltrue : env -> int
 (** The literal that is true in every model of the environment. *)
 
 val lfalse : env -> int
 (** Negation of {!ltrue}. *)
+
+val no_lit : int
+(** Sentinel ([min_int]) marking a node with no encoded literal in the map
+    returned by {!encode_nodes}. *)
 
 val and_lits : env -> int list -> int
 (** Conjunction of literals: folds constants, deduplicates, recognises
@@ -38,9 +46,17 @@ val or_lits : env -> int list -> int
 val xor_lits : env -> int list -> int
 (** Parity of the literals (the netlist semantics of k-ary [Xor]). *)
 
+val encode_nodes : env -> pi_lits:int array -> Circuit.t -> int array
+(** Encode a whole circuit and expose the structural-hash node map:
+    [pi_lits.(j)] is the literal driving primary input [j] (indexed like
+    {!Circuit.inputs}); the result maps every node id of the circuit to its
+    encoded literal ({!no_lit} for dead nodes that are never reached from
+    the topological order). This is the hook that lets callers pin circuit
+    nodes to solver variables — e.g. to assert fault-site values or build
+    miters over internal nets. The circuit is not modified. Raises
+    [Invalid_argument] if [pi_lits] is shorter than the circuit's input
+    list. *)
+
 val encode : env -> pi_lits:int array -> Circuit.t -> int array
-(** Encode a whole circuit: [pi_lits.(j)] is the literal driving primary
-    input [j] (indexed like {!Circuit.inputs}); the result holds one literal
-    per primary output (indexed like {!Circuit.outputs}). The circuit is not
-    modified. Raises [Invalid_argument] if [pi_lits] is shorter than the
-    circuit's input list. *)
+(** Like {!encode_nodes} but returns one literal per primary output
+    (indexed like {!Circuit.outputs}). *)

@@ -1,10 +1,29 @@
-(* CDCL SAT solver: two-watched literals, first-UIP learning, VSIDS-lite
-   activities on a binary max-heap, phase saving, Luby restarts. *)
+(* Incremental CDCL SAT solver: two-watched literals, first-UIP learning,
+   VSIDS-lite activities on a binary max-heap, phase saving, Luby restarts.
+   Solver state survives across [solve]/[solve_assuming] calls: after every
+   call the trail is rolled back to decision level 0 and learned clauses are
+   retained, so assumption-based queries amortise both the CNF and the
+   conflict analysis done by earlier queries. *)
+
+let conflicts_c = Obs.Counter.make ~help:"SAT conflicts" "sat.conflicts"
+
+let propagations_c =
+  Obs.Counter.make ~help:"SAT propagations" "sat.propagations"
 
 let lit v = 2 * v
 let neg l = l lxor 1
 let var_of l = l lsr 1
 let is_neg l = l land 1 = 1
+
+module Options = struct
+  type t = {
+    budget : int option;
+    restart_base : int;
+    seed : int64;
+  }
+
+  let default = { budget = None; restart_base = 100; seed = 0L }
+end
 
 type clause = int array
 
@@ -36,7 +55,8 @@ type t = {
   mutable qhead : int;
   mutable var_inc : float;
   mutable ok : bool;  (* false once a top-level contradiction is known *)
-  mutable solving : bool;
+  mutable model : int array;  (* assignment saved by the last Sat outcome *)
+  mutable seeded_upto : int;  (* vars whose initial phase was randomised *)
   mutable n_decisions : int;
   mutable n_conflicts : int;
   mutable n_propagations : int;
@@ -66,7 +86,8 @@ let create () =
     qhead = 0;
     var_inc = 1.0;
     ok = true;
-    solving = false;
+    model = [||];
+    seeded_upto = 0;
     n_decisions = 0;
     n_conflicts = 0;
     n_propagations = 0;
@@ -74,6 +95,7 @@ let create () =
 
 let num_vars t = t.nvars
 let num_clauses t = t.nproblem
+let num_learnt t = t.nclauses - t.nproblem
 let decisions t = t.n_decisions
 let conflicts t = t.n_conflicts
 let propagations t = t.n_propagations
@@ -236,8 +258,11 @@ let enqueue t l reason =
   t.trail.(t.trail_size) <- l;
   t.trail_size <- t.trail_size + 1
 
+(* Clauses may be added at any point between solves: every solve leaves the
+   trail at decision level 0, so simplification below always runs under the
+   top-level assignment only. *)
 let add_clause t lits =
-  if t.solving then invalid_arg "Sat.add_clause: solver already started";
+  if t.levels <> 0 then invalid_arg "Sat.add_clause: mid-solve";
   if t.ok then begin
     (* Simplify under the top-level assignment: drop false literals and
        duplicates, discard satisfied clauses and tautologies. *)
@@ -255,7 +280,10 @@ let add_clause t lits =
       | _ ->
         let c = Array.of_list lits in
         let ci = store_clause t c in
-        t.nproblem <- ci + 1
+        (* Problem clauses are interleaved with learned ones in incremental
+           use; [nproblem] counts them rather than delimiting a prefix. *)
+        ignore ci;
+        t.nproblem <- t.nproblem + 1
     end
   end
 
@@ -437,14 +465,53 @@ let decide t =
     true
   end
 
-let solve ?budget t =
-  t.solving <- true;
+(* Open a fresh (possibly empty) decision level. Assumptions get one level
+   each, so the level of an assumption equals its index + 1 and backjumps
+   land between assumptions without forgetting the earlier ones. *)
+let push_level t =
+  t.trail_lim <- grow_int t.trail_lim (t.levels + 1) 0;
+  t.trail_lim.(t.levels) <- t.trail_size;
+  t.levels <- t.levels + 1
+
+let seed_phases t seed =
+  if t.seeded_upto < t.nvars then begin
+    for v = t.seeded_upto to t.nvars - 1 do
+      (* splitmix64-style hash of (seed, v): deterministic per variable. *)
+      let z =
+        Int64.add seed (Int64.mul (Int64.of_int (v + 1)) 0x9E3779B97F4A7C15L)
+      in
+      let z =
+        Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+          0xBF58476D1CE4E5B9L
+      in
+      let z =
+        Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+          0x94D049BB133111EBL
+      in
+      let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+      t.polarity.(v) <- Int64.logand z 1L = 1L
+    done;
+    t.seeded_upto <- t.nvars
+  end
+
+let save_model t =
+  if Array.length t.model < t.nvars then t.model <- Array.make t.nvars 0;
+  Array.blit t.assign 0 t.model 0 t.nvars
+
+let solve_assuming ?(options = Options.default) t assumptions =
+  if t.levels <> 0 then invalid_arg "Sat.solve_assuming: mid-solve";
   if not t.ok then Unsat
   else begin
-    let limit = match budget with None -> max_int | Some b -> b in
+    let limit =
+      match options.Options.budget with None -> max_int | Some b -> b
+    in
+    if options.Options.seed <> 0L then seed_phases t options.Options.seed;
+    let start_conflicts = t.n_conflicts in
+    let start_propagations = t.n_propagations in
+    let n_assumed = Array.length assumptions in
     let result = ref None in
     let restart_no = ref 0 in
-    let restart_left = ref (100 * luby 0) in
+    let restart_left = ref (options.Options.restart_base * luby 0) in
     while !result = None do
       let confl = propagate t in
       if confl >= 0 then begin
@@ -454,7 +521,8 @@ let solve ?budget t =
           t.ok <- false;
           result := Some Unsat
         end
-        else if t.n_conflicts >= limit then result := Some Unknown
+        else if t.n_conflicts - start_conflicts >= limit then
+          result := Some Unknown
         else begin
           let learnt, blevel = analyze t confl in
           backjump t blevel;
@@ -466,14 +534,40 @@ let solve ?budget t =
           decay t
         end
       end
+      else if t.levels < n_assumed then begin
+        (* Re-establish the next assumption as a decision. Each assumption
+           opens its own level even when already implied, so assumption i
+           always sits at level i + 1. *)
+        let p = assumptions.(t.levels) in
+        match lit_value t p with
+        | 0 ->
+          (* The prefix of assumptions (plus the problem clauses) forces
+             this one false: unsat under assumptions, but the instance
+             itself stays alive. *)
+          result := Some Unsat
+        | 1 -> push_level t
+        | _ ->
+          push_level t;
+          t.n_decisions <- t.n_decisions + 1;
+          enqueue t p (-1)
+      end
       else if !restart_left <= 0 then begin
         incr restart_no;
-        restart_left := 100 * luby !restart_no;
+        restart_left := options.Options.restart_base * luby !restart_no;
         backjump t 0
       end
-      else if not (decide t) then result := Some Sat
+      else if not (decide t) then begin
+        save_model t;
+        result := Some Sat
+      end
     done;
+    (* Roll back to level 0, keeping learned clauses: the solver is ready
+       for more clauses or another query. *)
+    backjump t 0;
+    Obs.Counter.add conflicts_c (t.n_conflicts - start_conflicts);
+    Obs.Counter.add propagations_c (t.n_propagations - start_propagations);
     match !result with Some r -> r | None -> assert false
   end
 
-let value t v = t.assign.(v) = 1
+let solve ?options t = solve_assuming ?options t [||]
+let value t v = t.model.(v) = 1

@@ -1,0 +1,106 @@
+(** Incremental CDCL SAT solver shared by equivalence checking and ATPG.
+
+    A self-contained conflict-driven clause-learning solver in the MiniSat
+    lineage: two-watched-literal propagation, first-UIP conflict analysis
+    with non-chronological backjumping, VSIDS-style decaying variable
+    activities (binary max-heap), phase saving and Luby-sequence restarts.
+    No preprocessing and no learned-clause deletion — the CNFs produced by
+    {!Cnf} for miters are small and heavily structurally shared, and the
+    conflict budget bounds memory growth.
+
+    The solver is {e incremental}: after every {!solve} or {!solve_assuming}
+    call the trail is rolled back to decision level 0 while learned clauses,
+    variable activities and saved phases are retained, so clauses may be
+    added between calls and a sequence of assumption-based queries on one
+    solver amortises all earlier work. Satisfying assignments are copied
+    into a separate model the rollback does not disturb; read them with
+    {!value}.
+
+    Variables are dense non-negative integers handed out by {!new_var}.
+    Literals are integers [2*v] (positive) and [2*v + 1] (negated); use
+    {!lit}, {!neg}, {!var_of} and {!is_neg} instead of relying on the
+    encoding. A [t] is single-owner mutable state: never share one across
+    domains. *)
+
+type t
+
+(** Per-call search configuration, in the same config-record style as
+    [Campaign.config] and [Engine.options]. *)
+module Options : sig
+  type t = {
+    budget : int option;
+        (** Conflict budget for this call; [None] is unlimited. Exhausting
+            it yields {!Unknown}. Counted per call, not cumulatively. *)
+    restart_base : int;
+        (** Conflicts per Luby restart unit (MiniSat's 100). *)
+    seed : int64;
+        (** [0L] keeps the deterministic all-false initial phases; any other
+            value randomises the {e initial} phase of each variable once
+            (phase saving still takes over afterwards), which decorrelates
+            repeated searches on hard instances. *)
+  }
+
+  val default : t
+  (** [{ budget = None; restart_base = 100; seed = 0L }]. *)
+end
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val lit : int -> int
+(** Positive literal of a variable. *)
+
+val neg : int -> int
+(** Negation of a literal (involutive). *)
+
+val var_of : int -> int
+(** Variable underlying a literal. *)
+
+val is_neg : int -> bool
+(** Whether the literal is the negated phase of its variable. *)
+
+val add_clause : t -> int array -> unit
+(** Add a clause (a disjunction of literals). Tautologies are dropped,
+    duplicate literals merged; an empty clause (or a contradicting pair of
+    unit clauses) makes the instance trivially unsatisfiable. Clauses may
+    be added at creation time or between solver calls — the solver is
+    always at decision level 0 outside {!solve}/{!solve_assuming}. *)
+
+type outcome =
+  | Sat  (** A satisfying assignment exists; read it with {!value}. *)
+  | Unsat  (** Proved unsatisfiable (under the assumptions, if any). *)
+  | Unknown  (** Conflict budget exhausted before a verdict. *)
+
+val solve : ?options:Options.t -> t -> outcome
+(** Run the CDCL loop with no assumptions. Equivalent to
+    [solve_assuming t [||]]. *)
+
+val solve_assuming : ?options:Options.t -> t -> int array -> outcome
+(** [solve_assuming t lits] decides satisfiability with every literal of
+    [lits] held true. Assumptions are planted as decisions at levels
+    [1..n], re-established after restarts and backjumps, so [Unsat] here
+    means "unsatisfiable {e under these assumptions}" and leaves the
+    instance usable — only a conflict at level 0 marks the instance
+    permanently unsatisfiable. On return (any outcome) the solver is back
+    at decision level 0 with learned clauses retained; a [Sat] model is
+    saved for {!value} before the rollback. *)
+
+val value : t -> int -> bool
+(** Model value of a variable, from the most recent call that returned
+    [Sat]. Meaningless if no call has returned [Sat] yet. *)
+
+val num_vars : t -> int
+
+val num_clauses : t -> int
+(** Problem clauses added so far (learned clauses excluded). *)
+
+val num_learnt : t -> int
+(** Learned clauses currently retained. *)
+
+val decisions : t -> int
+val conflicts : t -> int
+
+val propagations : t -> int
+(** Cumulative search statistics across all solver calls on this [t]. *)

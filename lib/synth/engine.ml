@@ -404,6 +404,30 @@ let run_pass ?pool ?cache objective opts vstate st c =
     done;
     ignore (Footprint.mark_fanout_cone c st.dirty !seeds)
   in
+  (* The sweep inside [Replace.splice] cascades upstream past the cut: a cut
+     input left without consumers dies, then its fanins lose a consumer, and
+     so on. Survivors on that boundary change fanout degree — which
+     [Subcircuit.removable_gates] reads — so every root downstream of them
+     must be re-evaluated, and the decision-time footprint (cut inputs +
+     members) does not reach them. [pre_alive]/[pre_fanins] snapshot the
+     graph before the splice; afterwards the live former fanins of every
+     swept node seed a fanout-cone marking on the new graph. *)
+  let snapshot_fanins () =
+    Array.init (Circuit.size c) (fun id ->
+        if Circuit.is_alive c id then Array.copy (Circuit.fanins c id)
+        else [||])
+  in
+  let mark_swept_boundary pre_fanins =
+    let seeds = ref [] in
+    Array.iteri
+      (fun id fins ->
+        if Array.length fins > 0 && not (Circuit.is_alive c id) then
+          Array.iter
+            (fun f -> if Circuit.is_alive c f then seeds := f :: !seeds)
+            fins)
+      pre_fanins;
+    ignore (Footprint.mark_fanout_cone c st.dirty !seeds)
+  in
   (* Apply one decided splice. [pre_verified] means a concurrent flush
      already ran the exhaustive local check. Returns false if the CEC miter
      refused the replacement and rolled it back. *)
@@ -417,6 +441,7 @@ let run_pass ?pool ?cache objective opts vstate st c =
       if should_verify opts.verify p.p_idx then Some (Circuit.copy c) else None
     in
     let since = Circuit.size c in
+    let pre_fanins = if incremental then Some (snapshot_fanins ()) else None in
     let fresh = Replace.splice ~verify_local c cand.sub cand.built in
     (if opts.inject_unsound = p.p_idx + 1 then
        match inverted_kind (Circuit.kind c fresh) with
@@ -446,7 +471,10 @@ let run_pass ?pool ?cache objective opts vstate st c =
       incr replacements;
       Obs.Counter.incr accepted_c;
       Obs.Trace.instant ~cat:"engine" "engine.accepted";
-      if incremental then mark_fresh since
+      if incremental then begin
+        mark_fresh since;
+        Option.iter mark_swept_boundary pre_fanins
+      end
     end;
     sound
   in

@@ -7,9 +7,12 @@
 # circuits are generated from fixed seeds, so their sizes are exactly
 # reproducible and any drift is a real behaviour change. Wall times and
 # speedups are machine-dependent and deliberately not gated here — with
-# one exception: the `incremental` section compares the engine against
+# two exceptions: the `incremental` section compares the engine against
 # itself at identical domain counts, so its speedup (and its bit-identity
-# flag) must hold on any machine and is gated via `gate_ok` below.
+# flag) must hold on any machine and is gated via `gate_ok` below; and
+# the `sat_atpg` section's `escalation_ok` asserts that no PODEM-aborted
+# fault stays undecided after SAT escalation (DESIGN.md §14), which is a
+# determinism property, not a timing one.
 #
 # Usage: scripts/check_regression.sh [BASELINE]
 # Exit:  0 no regression, 1 regression, 2 incomparable snapshots.
@@ -28,9 +31,9 @@ dune build bin/sft_cli.exe bench/main.exe
 tmp=$(mktemp -t bench-smoke.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT INT TERM
 
-echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental)..."
+echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental,sat_atpg)..."
 dune exec --no-build bench/main.exe -- \
-    --quick --only micro,kernels,incremental --domains 2 --json "$tmp" > /dev/null
+    --quick --only micro,kernels,incremental,sat_atpg --domains 2 --json "$tmp" > /dev/null
 
 # Incremental resynthesis gate: dirty-region tracking must reproduce the
 # full re-enumeration path bit-for-bit and not be slower than it.
@@ -40,6 +43,13 @@ if grep -q '"identical_results": false' "$tmp"; then
 fi
 if grep -q '"gate_ok": false' "$tmp"; then
     echo "check_regression: incremental section gate failed (speedup < 1 or no cuts skipped)" >&2
+    exit 1
+fi
+
+# SAT ATPG gate: every PODEM-aborted fault must be settled (test found or
+# redundancy proved) by the exact escalation pass.
+if grep -q '"escalation_ok": false' "$tmp"; then
+    echo "check_regression: sat_atpg escalation left faults undecided" >&2
     exit 1
 fi
 

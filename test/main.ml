@@ -33,4 +33,6 @@ let () =
       ("bench-diff", Test_bench_diff.suite);
       ("cec", Test_cec.suite);
       Helpers.qsuite "cec-properties" Test_cec.qchecks;
+      ("sat-atpg", Test_sat_atpg.suite);
+      Helpers.qsuite "sat-atpg-properties" Test_sat_atpg.qchecks;
     ]

@@ -90,9 +90,10 @@ let test_redundancy_removal () =
   check bool_ "smaller" true
     (Circuit.two_input_gate_count fresh < Circuit.two_input_gate_count reference);
   (* The result must have no untestable collapsed faults left. *)
-  let untestable, aborted = Redundancy.find_untestable ~seed:6L fresh in
-  check int_ "no redundancy left" 0 (List.length untestable);
-  check int_ "no aborts" 0 aborted
+  let found = Redundancy.find_untestable ~seed:6L fresh in
+  check int_ "no redundancy left" 0 (List.length found.Redundancy.untestable);
+  check int_ "no SAT redundancy left" 0 (List.length found.Redundancy.sat_redundant);
+  check int_ "no aborts" 0 (List.length found.Redundancy.unresolved)
 
 let test_redundancy_preserves_random () =
   for seed = 30 to 36 do

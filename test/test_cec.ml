@@ -52,7 +52,11 @@ let test_sat_pigeonhole () =
   | Sat.Sat -> ()
   | Sat.Unsat | Sat.Unknown -> Alcotest.fail "PHP(4,4) must be SAT");
   (* The conflict budget turns a hard instance into Unknown, not a hang. *)
-  match Sat.solve ~budget:5 (php 7 6) with
+  match
+    Sat.solve
+      ~options:{ Sat.Options.default with Sat.Options.budget = Some 5 }
+      (php 7 6)
+  with
   | Sat.Unknown -> ()
   | Sat.Sat -> Alcotest.fail "PHP(7,6) must not be SAT"
   | Sat.Unsat -> () (* a tiny budget may still suffice; fine either way *)

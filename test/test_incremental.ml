@@ -188,6 +188,38 @@ let test_incremental_skips_clean_roots () =
       check bool_ "full path enumerates at least as much" true
         (Obs.Counter.value candidates - c0 >= 0))
 
+(* Sweep-cascade regression: [Replace.splice] ends in a sweep that can kill
+   nodes upstream of the cut (a cut input left without consumers dies, then
+   its fanins lose a consumer, ...). Survivors on that boundary change
+   fanout degree, which removability accounting reads, so roots downstream
+   of them must be re-dirtied. These seeds all diverged (full found more
+   replacements than incremental) before the boundary marking in
+   [Engine.commit_one]. *)
+let test_sweep_cascade_boundary () =
+  List.iter
+    (fun seed ->
+      let profile =
+        {
+          Circuit_gen.name = "incr";
+          n_pi = 10;
+          n_po = 6;
+          n_gates = 70;
+          depth = 8;
+          combine_pct = 25;
+          xor_pct = 5;
+          seed = Int64.of_int seed;
+        }
+      in
+      let c = Circuit_gen.generate profile in
+      let want = fingerprint Engine.Gates full c in
+      List.iter
+        (fun (label, options) ->
+          if fingerprint Engine.Gates options c <> want then
+            Alcotest.failf "seed %d: incremental (%s) missed a swept-boundary region"
+              seed label)
+        variants)
+    [ 83418; 83420; 83490; 83566 ]
+
 (* --- qcheck: identity over generated circuits -------------------------------- *)
 
 let gen_profile seed =
@@ -223,6 +255,7 @@ let suite =
     ("identity: don't-cares and multi-unit", `Quick, test_incremental_identity_extensions);
     ("equivalence under default options", `Quick, test_incremental_equivalence);
     ("second pass skips clean roots", `Quick, test_incremental_skips_clean_roots);
+    ("sweep-cascade boundary re-dirtied", `Quick, test_sweep_cascade_boundary);
   ]
 
 let qchecks = [ prop_incremental_identity ]

@@ -1,0 +1,224 @@
+(* SAT-powered ATPG: incremental-solver semantics, fault-miter soundness
+   and exact redundancy proofs.
+
+   Verdicts are cross-validated against the fault simulator in both
+   directions: every Test vector must detect its fault under Fsim (also
+   enforced internally by Sat_atpg.run), and Redundant verdicts are
+   compared with exhaustive simulation of all 2^n input vectors on small
+   circuits. *)
+
+open Helpers
+
+(* Exhaustive ground truth: is the fault detected by any input vector? *)
+let detectable_exhaustive c f =
+  let fsim = Fsim.create (Compiled.of_circuit c) in
+  let n = Circuit.num_inputs c in
+  let found = ref false in
+  for v = 0 to (1 lsl n) - 1 do
+    if not !found then begin
+      let vec = Array.init n (fun i -> (v lsr i) land 1 = 1) in
+      if Fsim.detect_single fsim f vec then found := true
+    end
+  done;
+  !found
+
+(* --- incremental solver semantics ----------------------------------------- *)
+
+let test_solve_assuming_basics () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [| Sat.lit a; Sat.lit b |];
+  (* Assuming ~a forces b. *)
+  (match Sat.solve_assuming s [| Sat.neg (Sat.lit a) |] with
+  | Sat.Sat ->
+    check bool_ "a false under assumption" false (Sat.value s a);
+    check bool_ "b true under assumption" true (Sat.value s b)
+  | Sat.Unsat | Sat.Unknown -> Alcotest.fail "expected SAT under ~a");
+  (* Assuming ~a and ~b contradicts the clause — but only under the
+     assumptions: the instance itself stays alive. *)
+  (match Sat.solve_assuming s [| Sat.neg (Sat.lit a); Sat.neg (Sat.lit b) |] with
+  | Sat.Unsat -> ()
+  | Sat.Sat | Sat.Unknown -> Alcotest.fail "expected UNSAT under ~a ~b");
+  (match Sat.solve s with
+  | Sat.Sat -> ()
+  | Sat.Unsat | Sat.Unknown -> Alcotest.fail "instance must stay satisfiable");
+  (* Clauses can be added after a solve; a top-level contradiction is
+     permanent. *)
+  Sat.add_clause s [| Sat.neg (Sat.lit a) |];
+  Sat.add_clause s [| Sat.neg (Sat.lit b) |];
+  (match Sat.solve s with
+  | Sat.Unsat -> ()
+  | Sat.Sat | Sat.Unknown -> Alcotest.fail "expected global UNSAT");
+  match Sat.solve_assuming s [| Sat.lit a |] with
+  | Sat.Unsat -> ()
+  | Sat.Sat | Sat.Unknown -> Alcotest.fail "dead instance must stay UNSAT"
+
+(* The same first query on a reused and a fresh solver is bit-identical:
+   same outcome, same model, same statistics. Later queries on the reused
+   solver keep their learned clauses, so only verdicts must agree. *)
+let test_reuse_matches_fresh () =
+  let c = c17 () in
+  let encode () =
+    let s = Sat.create () in
+    let env = Cnf.create s in
+    let pi_vars = Array.map (fun _ -> Sat.new_var s) (Circuit.inputs c) in
+    let po = Cnf.encode env ~pi_lits:(Array.map Sat.lit pi_vars) c in
+    (s, pi_vars, po)
+  in
+  let shared, pi_vars, po = encode () in
+  Array.iteri
+    (fun j lit_o ->
+      List.iter
+        (fun phase ->
+          let assumption = if phase then lit_o else Sat.neg lit_o in
+          let fresh_s, fresh_pi, fresh_po = encode () in
+          let fresh_assumption =
+            if phase then fresh_po.(j) else Sat.neg fresh_po.(j)
+          in
+          let shared_r = Sat.solve_assuming shared [| assumption |] in
+          let fresh_r = Sat.solve_assuming fresh_s [| fresh_assumption |] in
+          check bool_ "reused and fresh solver verdicts agree" true
+            (shared_r = fresh_r);
+          match (shared_r, fresh_r) with
+          | Sat.Sat, Sat.Sat ->
+            (* Both models must actually drive output j to [phase]. *)
+            let vec vars s = Array.map (fun v -> Sat.value s v) vars in
+            let out_shared = (Eval.run c (vec pi_vars shared)).(j) in
+            let out_fresh = (Eval.run c (vec fresh_pi fresh_s)).(j) in
+            check bool_ "shared model drives the output" phase out_shared;
+            check bool_ "fresh model drives the output" phase out_fresh
+          | _ -> ())
+        [ false; true ])
+    po
+
+(* --- fault miters ---------------------------------------------------------- *)
+
+(* Every verdict on every collapsed fault agrees with exhaustive
+   simulation; Test vectors are replayed through Fsim. *)
+let check_circuit_exact c =
+  let engine = Sat_atpg.create c in
+  let fsim = Fsim.create (Compiled.of_circuit c) in
+  List.iter
+    (fun f ->
+      match Sat_atpg.run engine f with
+      | Sat_atpg.Test v ->
+        check bool_ "SAT vector detects the fault" true
+          (Fsim.detect_single fsim f v);
+        check bool_ "fault is exhaustively detectable" true
+          (detectable_exhaustive c f)
+      | Sat_atpg.Redundant ->
+        check bool_ "Redundant fault is exhaustively undetectable" false
+          (detectable_exhaustive c f)
+      | Sat_atpg.Unknown _ ->
+        Alcotest.fail "budget must not run out on a small circuit")
+    (Fault.collapsed c)
+
+let test_c17_exact () = check_circuit_exact (c17 ())
+let test_mixed_exact () = check_circuit_exact (mixed ())
+
+let test_random_exact () =
+  for seed = 60 to 67 do
+    check_circuit_exact (random_circuit ~n_pi:5 ~n_gates:14 seed)
+  done
+
+(* The shared-engine sweep and per-fault fresh engines give the same
+   verdict for every fault (solver reuse must not change answers). *)
+let test_escalate_matches_fresh () =
+  for seed = 70 to 73 do
+    let c = random_circuit ~n_pi:5 ~n_gates:16 seed in
+    let faults = Fault.collapsed c in
+    let engine = Sat_atpg.create c in
+    List.iter
+      (fun f ->
+        let shared = Sat_atpg.run engine f in
+        let fresh = Sat_atpg.run (Sat_atpg.create c) f in
+        let tag = function
+          | Sat_atpg.Test _ -> 0
+          | Sat_atpg.Redundant -> 1
+          | Sat_atpg.Unknown _ -> 2
+        in
+        check int_ "shared vs fresh engine verdict" (tag fresh) (tag shared))
+      faults
+  done
+
+(* escalate covers the whole worklist and partitions it. *)
+let test_escalate_partition () =
+  let c = c17 () in
+  let faults = Fault.collapsed c in
+  let esc = Sat_atpg.escalate c faults in
+  check int_ "everything escalated" (List.length faults) esc.Sat_atpg.escalated;
+  check int_ "partitioned"
+    (List.length faults)
+    (List.length esc.Sat_atpg.tests
+    + List.length esc.Sat_atpg.redundant
+    + List.length esc.Sat_atpg.unknown);
+  (* c17 is fully testable. *)
+  check int_ "c17 has no redundancy" 0 (List.length esc.Sat_atpg.redundant);
+  check int_ "c17 decided" 0 (List.length esc.Sat_atpg.unknown)
+
+(* Redundancy.remove with SAT escalation must still preserve the function
+   even when PODEM is crippled enough to abort constantly. *)
+let test_remove_with_tiny_podem () =
+  for seed = 80 to 83 do
+    let c = random_circuit ~n_pi:5 ~n_gates:18 seed in
+    let reference = Circuit.copy c in
+    let limits = { Limits.default with Limits.podem_backtracks = 0 } in
+    let _report = Redundancy.remove ~limits ~seed:9L c in
+    check bool_ "function preserved under SAT-justified removal" true
+      (Eval.equivalent_exhaustive reference c)
+  done
+
+(* --- qcheck: injected redundancies ---------------------------------------- *)
+
+(* Splice a provably constant-0 net (a & ~a) into a fresh OR output: its
+   stuck-at-0 fault can never be activated, so the exact engine must prove
+   it redundant, and tying it off must not change the function. *)
+let inject_redundancy seed =
+  let c = random_circuit ~n_pi:4 ~n_gates:10 seed in
+  let a = (Circuit.inputs c).(0) in
+  let na = Circuit.add_gate c Gate.Not [| a |] in
+  let z = Circuit.add_gate c Gate.And [| a; na |] in
+  let carrier = (Circuit.outputs c).(0) in
+  let y = Circuit.add_gate c Gate.Or [| carrier; z |] in
+  Circuit.mark_output ~name:"inj" c y;
+  (c, { Fault.site = Fault.Stem z; stuck = false })
+
+let qcheck_injected_redundant =
+  QCheck.Test.make ~count:40 ~name:"injected constant nets are proved redundant"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let c, f = inject_redundancy seed in
+      let engine = Sat_atpg.create c in
+      (match Sat_atpg.run engine f with
+      | Sat_atpg.Redundant -> ()
+      | Sat_atpg.Test _ -> QCheck.Test.fail_report "constant net reported testable"
+      | Sat_atpg.Unknown _ -> QCheck.Test.fail_report "budget ran out");
+      true)
+
+let qcheck_verdicts_exact =
+  QCheck.Test.make ~count:25 ~name:"sat-atpg agrees with exhaustive simulation"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let c = random_circuit ~n_pi:4 ~n_gates:12 (seed mod 100_000) in
+      let engine = Sat_atpg.create c in
+      List.for_all
+        (fun f ->
+          match Sat_atpg.run engine f with
+          | Sat_atpg.Test _ -> detectable_exhaustive c f
+          | Sat_atpg.Redundant -> not (detectable_exhaustive c f)
+          | Sat_atpg.Unknown _ -> false)
+        (Fault.collapsed c))
+
+let suite =
+  [
+    ("solve_assuming basics", `Quick, test_solve_assuming_basics);
+    ("solver reuse matches fresh solver", `Quick, test_reuse_matches_fresh);
+    ("c17 verdicts exact", `Quick, test_c17_exact);
+    ("mixed verdicts exact", `Quick, test_mixed_exact);
+    ("random circuits exact", `Quick, test_random_exact);
+    ("shared engine matches fresh engines", `Quick, test_escalate_matches_fresh);
+    ("escalate partitions the worklist", `Quick, test_escalate_partition);
+    ("removal sound with crippled PODEM", `Quick, test_remove_with_tiny_podem);
+  ]
+
+let qchecks = [ qcheck_injected_redundant; qcheck_verdicts_exact ]
