@@ -5,7 +5,7 @@
      --full         paper-scale budgets where feasible
      --only IDS     comma-separated subset of: figures,table1,table2,table3,
                     table4,table5,table6,table7,cec,ablations,micro,kernels,
-                    incremental,sat_atpg
+                    incremental,idcache,sat_atpg
      --only-circuits NAMES
                     comma-separated benchmark filter (e.g. irs1423,irs5378)
                     applied to the per-circuit sections (table2-7, cec);
@@ -155,6 +155,28 @@ type incr_row = {
   in_gate_ok : bool; (* identical && speedup >= 1 && fraction < 1 *)
 }
 
+(* Persistent identification cache (DESIGN.md §15): lookup traffic of the
+   same resynthesis run cold (empty store), warm (the store the cold run
+   published) and with the cache off, plus the bit-identity and hit-rate
+   checks CI gates on. *)
+type idc_row = {
+  ic_circuit : string;
+  ic_cold_hits : int;
+  ic_cold_npn_hits : int;
+  ic_cold_misses : int;
+  ic_warm_hits : int;
+  ic_warm_npn_hits : int;
+  ic_warm_disk_hits : int;
+  ic_warm_misses : int;
+  ic_cold_hit_rate : float;
+  ic_warm_hit_rate : float;
+  ic_identical : bool; (* off = cold = warm *)
+  ic_gate_ok : bool;
+      (* identical && warm disk hits > 0 && NPN layer contributes
+         (hit rate with the class layer strictly above raw-key alone)
+         && warm rate >= cold rate *)
+}
+
 (* SAT-powered ATPG (DESIGN.md §14): how many faults the bounded PODEM
    search abandons, and how many of those the exact SAT escalation settles
    (test found or redundancy proved). [sa_escalation_ok] is the CI gate:
@@ -176,6 +198,7 @@ let json_circuits : (string * int * int * int * int) list ref = ref []
 let json_speedups : speedup_row list ref = ref []
 let json_kernels : kernel_row list ref = ref []
 let json_incremental : incr_row list ref = ref []
+let json_idcache : idc_row list ref = ref []
 let json_sat_atpg : sat_atpg_row list ref = ref []
 
 let record_circuit name c =
@@ -1323,6 +1346,118 @@ let incremental () =
     identical !domains
 
 (* ------------------------------------------------------------------ *)
+(* "Persistent identification cache" section (DESIGN.md §15).           *)
+(* ------------------------------------------------------------------ *)
+
+let idcache () =
+  (* Lookup traffic comes from the idcache.* counters, so collection must
+     be on (same rationale as the incremental section). *)
+  Obs.enable ();
+  let base =
+    Circuit_gen.generate
+      {
+        Circuit_gen.name = "idc-large";
+        n_pi = 200;
+        n_po = 180;
+        n_gates = (if !quick then 2600 else 5200);
+        depth = 4;
+        combine_pct = 1;
+        xor_pct = 4;
+        seed = 2424L;
+      }
+  in
+  record_circuit "idc-large" base;
+  (* The persistent store lives in its own subdirectory of the derived-
+     circuit cache (or the temp dir when data/cache is absent) and is wiped
+     first, so "cold" genuinely starts from an empty store. *)
+  let store_dir =
+    let parent =
+      if Sys.file_exists cache_dir && Sys.is_directory cache_dir then cache_dir
+      else Filename.get_temp_dir_name ()
+    in
+    Filename.concat parent "idcache-bench"
+  in
+  if Sys.file_exists store_dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat store_dir f))
+      (Sys.readdir store_dir);
+  let hits_c = Obs.Counter.make "idcache.hits" in
+  let npn_c = Obs.Counter.make "idcache.npn_hits" in
+  let disk_c = Obs.Counter.make "idcache.disk_hits" in
+  let miss_c = Obs.Counter.make "idcache.misses" in
+  let opts ~id_cache ~cache_dir =
+    {
+      (proc2_options 4) with
+      Engine.max_candidates = 24;
+      max_passes = 2;
+      domains = 1;
+      id_cache;
+      cache_dir;
+    }
+  in
+  let run o =
+    let c = Circuit.copy base in
+    let v0 =
+      ( Obs.Counter.value hits_c,
+        Obs.Counter.value npn_c,
+        Obs.Counter.value disk_c,
+        Obs.Counter.value miss_c )
+    in
+    let stats = Engine.optimize Engine.Gates o c in
+    let h0, n0, d0, m0 = v0 in
+    ( stats,
+      Bench_format.to_string c,
+      Obs.Counter.value hits_c - h0,
+      Obs.Counter.value npn_c - n0,
+      Obs.Counter.value disk_c - d0,
+      Obs.Counter.value miss_c - m0 )
+  in
+  let s_off, n_off, _, _, _, _ = run (opts ~id_cache:false ~cache_dir:None) in
+  let s_cold, n_cold, ch, cn, cd, cm =
+    run (opts ~id_cache:true ~cache_dir:(Some store_dir))
+  in
+  let s_warm, n_warm, wh, wn, wd, wm =
+    run (opts ~id_cache:true ~cache_dir:(Some store_dir))
+  in
+  let rate h n m =
+    let total = h + n + m in
+    if total = 0 then 0. else float_of_int (h + n) /. float_of_int total
+  in
+  let cold_rate = rate ch cn cm and warm_rate = rate wh wn wm in
+  (* The raw-key layer alone would serve [wh] of the warm run's lookups;
+     the NPN class layer must strictly improve on that. *)
+  let identical = s_off = s_cold && s_off = s_warm && n_off = n_cold && n_off = n_warm in
+  let row =
+    {
+      ic_circuit = "idc-large";
+      ic_cold_hits = ch;
+      ic_cold_npn_hits = cn;
+      ic_cold_misses = cm;
+      ic_warm_hits = wh;
+      ic_warm_npn_hits = wn;
+      ic_warm_disk_hits = wd;
+      ic_warm_misses = wm;
+      ic_cold_hit_rate = cold_rate;
+      ic_warm_hit_rate = warm_rate;
+      ic_identical = identical;
+      ic_gate_ok =
+        identical && wd > 0 && cn > 0 && wn > 0 && warm_rate >= cold_rate;
+    }
+  in
+  json_idcache := row :: !json_idcache;
+  ignore cd;
+  Printf.printf "persistent identification cache on %s (%d two-input gates, store %s)\n"
+    row.ic_circuit
+    (Circuit.two_input_gate_count base)
+    store_dir;
+  Printf.printf "  cold   raw hits %8d   npn hits %6d   misses %8d   (hit rate %.1f%%)\n"
+    ch cn cm (100. *. cold_rate);
+  Printf.printf
+    "  warm   raw hits %8d   npn hits %6d   misses %8d   (hit rate %.1f%%, disk hits %d)\n"
+    wh wn wm (100. *. warm_rate) wd;
+  Printf.printf "  identical results: %b (off vs cold vs warm)\n%!" identical
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable snapshot (--json FILE). Schema: DESIGN.md,          *)
 (* "Parallel execution" section.                                        *)
 (* ------------------------------------------------------------------ *)
@@ -1421,6 +1556,21 @@ let write_json file =
            r.in_pass2_incr_s r.in_speedup r.in_identical r.in_gate_ok))
     (List.rev !json_incremental);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"idcache\": [\n";
+  List.iteri
+    (fun i r ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"circuit\": \"%s\", \"cold_hits\": %d, \"cold_npn_hits\": %d, \
+            \"cold_misses\": %d, \"warm_hits\": %d, \"warm_npn_hits\": %d, \
+            \"warm_disk_hits\": %d, \"warm_misses\": %d, \"cold_hit_rate\": %.4f, \
+            \"warm_hit_rate\": %.4f, \"identical_results\": %b, \"gate_ok\": %b}"
+           (json_escape r.ic_circuit) r.ic_cold_hits r.ic_cold_npn_hits
+           r.ic_cold_misses r.ic_warm_hits r.ic_warm_npn_hits r.ic_warm_disk_hits
+           r.ic_warm_misses r.ic_cold_hit_rate r.ic_warm_hit_rate r.ic_identical
+           r.ic_gate_ok))
+    (List.rev !json_idcache);
+  Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"cec\": [\n";
   List.iteri
     (fun i r ->
@@ -1479,6 +1629,7 @@ let () =
   section "micro" "Bechamel micro-benchmarks" micro;
   section "kernels" "word-parallel kernels vs scalar baselines" kernels;
   section "incremental" "incremental resynthesis vs full re-enumeration" incremental;
+  section "idcache" "persistent identification cache: cold vs warm vs off" idcache;
   section "sat_atpg" "SAT escalation of PODEM-aborted faults" sat_atpg;
   (match !json_file with
   | None -> ()

@@ -207,7 +207,8 @@ let gen_cmd =
 
 let optimize_cmd =
   let run file bench objective k engine budget no_merge verify dontcares units
-      no_id_cache incremental commit_batch domains output metrics trace trace_out =
+      no_id_cache cache_dir incremental commit_batch domains output metrics trace
+      trace_out =
     with_obs metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let objective =
@@ -232,6 +233,7 @@ let optimize_cmd =
             use_dontcares = dontcares;
             max_units = units;
             id_cache = not no_id_cache;
+            cache_dir;
             incremental =
               Option.value incremental
                 ~default:Engine.default_options.Engine.incremental;
@@ -283,6 +285,18 @@ let optimize_cmd =
             "Disable the run-scoped identification cache (results are \
              bit-identical either way; this is a debugging escape hatch).")
   in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the identification cache in $(docv)/idcache.bin \
+             (DESIGN.md Sec. 15): warm-start from the store if present and \
+             append this run's fresh verdicts at the end. Safe to share \
+             across concurrent runs; results are bit-identical cold, warm \
+             or with the cache off.")
+  in
   let incremental =
     Arg.(
       value
@@ -317,8 +331,9 @@ let optimize_cmd =
        ~doc:"Resynthesise with comparison units (Procedures 2 and 3 of the paper).")
     Term.(
       const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
-      $ verify $ dontcares $ units $ no_id_cache $ incremental $ commit_batch
-      $ domains_arg $ output_arg $ metrics_arg $ trace_arg $ trace_out_arg)
+      $ verify $ dontcares $ units $ no_id_cache $ cache_dir $ incremental
+      $ commit_batch $ domains_arg $ output_arg $ metrics_arg $ trace_arg
+      $ trace_out_arg)
 
 (* --- check ----------------------------------------------------------------- *)
 

@@ -1,0 +1,153 @@
+(* Exact NPN canonicalisation of packed truth tables.
+
+   The NPN orbit of an n-input function f is everything reachable by input
+   negation (N), input permutation (P) and output negation (N) — the group
+   of 2^(n+1) * n! transforms. The canonical representative is defined as
+   the minimum, under {!Truthtable.compare}, of an orbit-invariant
+   *candidate subset* of the orbit (so every member of an orbit
+   canonicalises to the same table), and the pruning below only ever
+   shrinks the enumeration to that subset, never the subset itself:
+
+   - output polarity: a candidate's ON-set size is at most 2^(n-1)
+     (complement when above; both polarities when exactly half);
+   - input phases: for every variable, popcount(cofactor var=0) <=
+     popcount(cofactor var=1) (negate the variable when above; both phases
+     on a tie). A variable's cofactor popcounts are invariant under the
+     other variables' phases and permutations, so they can be fixed
+     independently, per output polarity.
+   - variable order: the (p0, p1) signature pairs are non-decreasing left
+     to right, so only permutations within equal-signature tie groups are
+     enumerated.
+
+   All three conditions are predicates on the *candidate* table, hence
+   intrinsic to the orbit: the surviving set is the same no matter which
+   orbit member the search starts from. Typical functions have few ties
+   and canonicalise in a handful of word-level kernel calls
+   ({!Truthtable.flip}, {!Truthtable.permute}); the degenerate worst case
+   (parity-like functions, everything tied) enumerates the full
+   2 * 2^n * n! candidates — 92,160 one-word tables at n = 6.
+
+   DESIGN.md §15 walks a K = 3 example through the same steps. *)
+
+type transform = {
+  pi : int array;
+  phase : int;
+  negate : bool;
+}
+
+let identity n = { pi = Array.init n (fun j -> j + 1); phase = 0; negate = false }
+
+let apply tr f =
+  let n = Truthtable.arity f in
+  if Array.length tr.pi <> n then invalid_arg "Npn.apply: arity mismatch";
+  let g = ref f in
+  for i = 1 to n do
+    if tr.phase land (1 lsl (i - 1)) <> 0 then g := Truthtable.flip !g ~var:i
+  done;
+  let g = Truthtable.permute !g tr.pi in
+  if tr.negate then Truthtable.lnot g else g
+
+(* The phase mask seen from the canonical side: canonical position [j]
+   sources variable [pi.(j)], so its phase bit is [phase]'s bit for that
+   source variable. Two tables canonicalising to the same representative
+   *with the same pushed phase* differ only by an input permutation and an
+   output negation — the sound key of the cache's NPN layer (DESIGN.md
+   §15). *)
+let push_phase tr =
+  let psi = ref 0 in
+  Array.iteri
+    (fun j v -> if tr.phase land (1 lsl (v - 1)) <> 0 then psi := !psi lor (1 lsl j))
+    tr.pi;
+  !psi
+
+type canonical = {
+  repr : Truthtable.t;
+  tr : transform;
+  psi : int;
+}
+
+(* All orderings of [l], lexicographic in the member order of [l]. *)
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun r -> x :: r) (perms (List.filter (fun y -> y <> x) l)))
+      l
+
+(* Cartesian product of per-group permutations, concatenated in group
+   order: every enumerated [pi] keeps each tie group inside its signature
+   slot. *)
+let group_perms groups =
+  List.fold_right
+    (fun g acc -> List.concat_map (fun p -> List.map (fun rest -> p @ rest) acc) (perms g))
+    groups [ [] ]
+
+let canon f =
+  let n = Truthtable.arity f in
+  let total = 1 lsl n in
+  let on = Truthtable.popcount f in
+  let polarities =
+    if 2 * on < total then [ false ]
+    else if 2 * on > total then [ true ]
+    else [ false; true ]
+  in
+  let best = ref None in
+  let consider cand tr =
+    match !best with
+    | Some (b, _) when Truthtable.compare b cand <= 0 -> ()
+    | _ -> best := Some (cand, tr)
+  in
+  List.iter
+    (fun negate ->
+      let f0 = if negate then Truthtable.lnot f else f in
+      (* Per-variable cofactor signature on the polarity-fixed table. *)
+      let sig_ = Array.make (n + 1) (0, 0) in
+      let forced = ref 0 in
+      let ties = ref [] in
+      for i = n downto 1 do
+        let p0 = Truthtable.popcount (Truthtable.cofactor f0 ~var:i false) in
+        let p1 = Truthtable.popcount (Truthtable.cofactor f0 ~var:i true) in
+        if p0 > p1 then forced := !forced lor (1 lsl (i - 1))
+        else if p0 = p1 then ties := i :: !ties;
+        sig_.(i) <- (min p0 p1, max p0 p1)
+      done;
+      (* Group variables by signature, groups in ascending signature order,
+         members ascending. *)
+      let vars = List.init n (fun i -> i + 1) in
+      let sorted =
+        List.stable_sort (fun a b -> compare (sig_.(a), a) (sig_.(b), b)) vars
+      in
+      let groups =
+        List.fold_right
+          (fun v acc ->
+            match acc with
+            | (g :: gs) when sig_.(List.hd g) = sig_.(v) -> (v :: g) :: gs
+            | _ -> [ v ] :: acc)
+          sorted []
+      in
+      let pis = List.map Array.of_list (group_perms groups) in
+      (* Pre-apply the forced flips once; tie flips stack on top. *)
+      let base = ref f0 in
+      for i = 1 to n do
+        if !forced land (1 lsl (i - 1)) <> 0 then base := Truthtable.flip !base ~var:i
+      done;
+      let tie_arr = Array.of_list !ties in
+      let ntie = Array.length tie_arr in
+      for tm = 0 to (1 lsl ntie) - 1 do
+        let flipped = ref !base in
+        let tie_mask = ref 0 in
+        for b = 0 to ntie - 1 do
+          if tm land (1 lsl b) <> 0 then begin
+            flipped := Truthtable.flip !flipped ~var:tie_arr.(b);
+            tie_mask := !tie_mask lor (1 lsl (tie_arr.(b) - 1))
+          end
+        done;
+        let phase = !forced lor !tie_mask in
+        List.iter
+          (fun pi -> consider (Truthtable.permute !flipped pi) { pi; phase; negate })
+          pis
+      done)
+    polarities;
+  match !best with
+  | None -> assert false
+  | Some (repr, tr) -> { repr; tr; psi = push_phase tr }

@@ -1,0 +1,57 @@
+(** Exact NPN canonicalisation of packed truth tables (DESIGN.md §15).
+
+    Two functions are NPN-equivalent when one is reachable from the other
+    by negating inputs (N), permuting inputs (P) and negating the output
+    (N). {!canon} computes a canonical representative of that orbit — the
+    minimum under {!Truthtable.compare} of an orbit-invariant candidate
+    set — together with the transform that reaches it, so equality of
+    representatives decides equivalence exactly. The search is pruned by
+    ON-set size (output polarity), cofactor popcounts (input phases) and
+    sorted cofactor signatures (permutations restricted to tie groups);
+    all pruning predicates are properties of the candidate table itself,
+    which is what keeps the canonical form well defined. Exact for every
+    supported arity; sized for the engine's K <= 6 tables, where even the
+    fully-tied worst case enumerates only 2 * 2^6 * 6! one-word
+    candidates. *)
+
+type transform = {
+  pi : int array;  (** Input permutation, {!Truthtable.permute} convention:
+                       position [j] (0-based) of the transformed variable
+                       order sources variable [pi.(j)] (1-based). *)
+  phase : int;  (** Input negation mask over the {e source} variables: bit
+                    [i - 1] set means [x_i] is negated before permuting. *)
+  negate : bool;  (** Whether the output is complemented. *)
+}
+(** One NPN transform, acting as negate-inputs, then permute, then
+    optionally complement the output (see {!apply}). *)
+
+type canonical = {
+  repr : Truthtable.t;  (** The canonical representative of the orbit. *)
+  tr : transform;  (** A transform with [apply tr f = repr], the first
+                       achiever in a fixed enumeration order. *)
+  psi : int;  (** [push_phase tr]: the phase mask seen from the canonical
+                  side (bit [j] is [phase]'s bit for source variable
+                  [pi.(j)]). *)
+}
+(** Result of {!canon}. *)
+
+val identity : int -> transform
+(** [identity n] is the transform fixing every [n]-input function. *)
+
+val apply : transform -> Truthtable.t -> Truthtable.t
+(** [apply tr f] negates the inputs of [f] per [tr.phase], permutes them by
+    [tr.pi], and complements the output when [tr.negate] — word-level
+    kernels throughout ({!Truthtable.flip}, {!Truthtable.permute}). *)
+
+val push_phase : transform -> int
+(** The phase mask expressed in canonical variable positions: bit [j] of
+    [push_phase tr] is bit [tr.pi.(j) - 1] of [tr.phase]. Two functions
+    whose {!canon} results share both [repr] and this value differ by an
+    input permutation and an output negation only — the soundness basis of
+    the cache's NPN layer ({!Idcache}). *)
+
+val canon : Truthtable.t -> canonical
+(** [canon f] is the canonical representative of [f]'s NPN orbit, the
+    transform reaching it and the pushed phase. [canon f = canon g] on the
+    [repr] field iff [f] and [g] are NPN-equivalent; the whole result is a
+    deterministic function of the table. *)

@@ -43,6 +43,10 @@ val of_words : int -> int64 array -> t
     [max 1 (2^n / 64)] words (it is copied; padding bits above [2^n] are
     ignored). *)
 
+val words : t -> int64 array
+(** The packed words (copied), [max 1 (2^n / 64)] of them — the inverse of
+    {!of_words}, for serialising tables. *)
+
 val sim_pattern : int -> int64
 (** [sim_pattern p] (for [0 <= p <= 5]) is the standard bit-parallel
     simulation word for index bit [p]: bit [j] is bit [p] of [j]. Within
@@ -75,6 +79,13 @@ val depends_on : t -> int -> bool
 
 val support : t -> int list
 (** Variables the function depends on, 1-based, increasing. *)
+
+val flip : t -> var:int -> t
+(** [flip f ~var:i] negates input [x_i]: the result [g] satisfies
+    [g(.., x_i, ..) = f(.., not x_i, ..)] — i.e. the value on minterm [m]
+    is [f]'s value on [m] with index bit [n - i] toggled. One delta-swap
+    word pass ([n - i < 6]) or a word-pair exchange otherwise; the NPN
+    canonicaliser's input-negation kernel (DESIGN.md §15). *)
 
 val permute : t -> int array -> t
 (** [permute f pi] renames variables: position [j] (0-based) of the new

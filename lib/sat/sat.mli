@@ -45,6 +45,7 @@ module Options : sig
 end
 
 val create : unit -> t
+(** A fresh, empty instance: no variables, no clauses, decision level 0. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable and return its index. *)
@@ -92,6 +93,7 @@ val value : t -> int -> bool
     [Sat]. Meaningless if no call has returned [Sat] yet. *)
 
 val num_vars : t -> int
+(** Variables allocated so far with {!new_var}. *)
 
 val num_clauses : t -> int
 (** Problem clauses added so far (learned clauses excluded). *)
@@ -100,7 +102,10 @@ val num_learnt : t -> int
 (** Learned clauses currently retained. *)
 
 val decisions : t -> int
+(** Cumulative decisions across all solver calls on this [t]. *)
+
 val conflicts : t -> int
+(** Cumulative conflicts across all solver calls on this [t]. *)
 
 val propagations : t -> int
-(** Cumulative search statistics across all solver calls on this [t]. *)
+(** Cumulative unit propagations across all solver calls on this [t]. *)

@@ -24,6 +24,7 @@ type options = {
   verify : verify;
   inject_unsound : int;
   id_cache : bool;
+  cache_dir : string option;
   incremental : bool;
   commit_batch : int;
 }
@@ -46,6 +47,7 @@ let default_options =
     verify = `Sampled 8;
     inject_unsound = 0;
     id_cache = true;
+    cache_dir = None;
     incremental = true;
     commit_batch = 8;
   }
@@ -66,12 +68,6 @@ let verify_refused_c =
 
 let verify_unknown_c =
   Obs.Counter.make ~help:"CEC checks hitting the conflict budget" "engine.verify_unknown"
-
-let idcache_hits_c =
-  Obs.Counter.make ~help:"identification verdicts served from the run cache" "idcache.hits"
-
-let idcache_misses_c =
-  Obs.Counter.make ~help:"identification verdicts computed and cached" "idcache.misses"
 
 let dirty_regions_c =
   Obs.Counter.make ~help:"splice footprints marked dirty" "engine.dirty_regions"
@@ -238,14 +234,12 @@ let score_candidates ?pool ?cache ~st opts ~sim labels c root =
       match cache with
       | None -> Comparison_fn.identify opts.engine rng tt
       | Some cache -> (
-        match Comparison_fn.Cache.find cache tt with
-        | Some verdict ->
-          Obs.Counter.incr idcache_hits_c;
-          verdict
-        | None ->
+        match Idcache.find cache tt with
+        | Idcache.Hit verdict -> verdict
+        | Idcache.Neg_hit -> None
+        | Idcache.Miss m ->
           let verdict = Comparison_fn.identify opts.engine rng tt in
-          Obs.Counter.incr idcache_misses_c;
-          misses := (tt, verdict) :: !misses;
+          misses := (m, verdict) :: !misses;
           verdict)
     in
     let cand =
@@ -280,7 +274,7 @@ let score_candidates ?pool ?cache ~st opts ~sim labels c root =
     Array.iter
       (fun (_, misses) ->
         List.iter
-          (fun (tt, verdict) -> Comparison_fn.Cache.add cache tt verdict)
+          (fun (m, verdict) -> Idcache.record cache m verdict)
           (List.rev misses))
       scored);
   List.filter_map fst (Array.to_list scored)
@@ -599,12 +593,15 @@ let optimize_with ?pool objective opts c =
   let gates_before = Circuit.two_input_gate_count c in
   let paths_before = Paths.total c in
   (* One identification cache per run, shared across candidates, roots and
-     passes. Only the exact engine's verdicts are cacheable: the sampled
+     passes — and, when [cache_dir] is set, warm-started from (and flushed
+     back to) the disk store so later runs and concurrent processes share
+     verdicts. Only the exact engine's verdicts are cacheable: the sampled
      engine consumes the per-candidate random stream, so replaying a cached
      verdict would change results between cache-on and cache-off runs. *)
   let cache =
     match opts.engine with
-    | Comparison_fn.Exact when opts.id_cache -> Some (Comparison_fn.Cache.create ())
+    | Comparison_fn.Exact when opts.id_cache ->
+      Some (Idcache.create ?dir:opts.cache_dir ())
     | Comparison_fn.Exact | Comparison_fn.Sampled _ -> None
   in
   let passes = ref 0 in
@@ -629,6 +626,9 @@ let optimize_with ?pool objective opts c =
     | None -> ());
     if r = 0 then continue := false
   done;
+  (* Per-class hit accounting + disk flush; serial, after the last batch
+     merged, so the frozen-read discipline is respected. *)
+  Option.iter Idcache.finish cache;
   {
     passes = !passes;
     replacements = !replacements;

@@ -63,12 +63,22 @@ type options = {
           spliced root {e after} local verification, so only the {!verify}
           miter can catch it. Never set this outside tests. *)
   id_cache : bool;
-      (** Share one {!Comparison_fn.Cache} across all candidates, roots and
-          passes of the run (DESIGN.md §12). Effective only with the
-          deterministic {!Comparison_fn.Exact} engine — sampled verdicts
-          depend on the candidate random stream and are never cached — so
-          results are bit-identical with the cache on or off, and for any
-          [domains] width. The CLI escape hatch is [--no-id-cache]. *)
+      (** Share one {!Idcache} across all candidates, roots and passes of
+          the run (DESIGN.md §12, §15): raw verdicts replay verbatim and
+          the NPN class layer short-circuits provably negative lookups.
+          Effective only with the deterministic {!Comparison_fn.Exact}
+          engine — sampled verdicts depend on the candidate random stream
+          and are never cached — so results are bit-identical with the
+          cache on or off, and for any [domains] width. The CLI escape
+          hatch is [--no-id-cache]. *)
+  cache_dir : string option;
+      (** Directory of the persistent identification store (DESIGN.md §15):
+          when set (CLI [--cache-dir]), the run's cache warm-starts from
+          [dir/idcache.bin] and appends its fresh verdicts back at the end,
+          sharing identification work across runs and concurrent processes.
+          [None] (the default) keeps the cache run-scoped in memory.
+          Requires [id_cache]; results are bit-identical cold, warm or
+          off. *)
   incremental : bool;
       (** Dirty-region tracking across passes (DESIGN.md §13): after each
           accepted splice the transitive fanout footprint of the replaced
@@ -95,8 +105,8 @@ val default_options : options
 (** K = 6, 64 candidates, exact identification, merging, local verification
     on, global verification off, at most 16 passes, seed 1, extensions off,
     [domains = 0] (auto), [obs = false], [verify = `Sampled 8],
-    [inject_unsound = 0], [id_cache = true], [incremental = true],
-    [commit_batch = 8]. *)
+    [inject_unsound = 0], [id_cache = true], [cache_dir = None],
+    [incremental = true], [commit_batch = 8]. *)
 
 type stats = {
   passes : int;
@@ -120,9 +130,11 @@ val optimize : objective -> options -> Circuit.t -> stats
     [engine.verify_refused], [engine.verify_unknown], [engine.dirty_regions]
     (splice footprints marked dirty), [engine.reenum_skipped] (clean roots
     skipped without re-enumeration), [engine.concurrent_commits] (splices
-    landed through a multi-splice flush), [idcache.hits], [idcache.misses];
-    histograms [engine.cut_size] and [engine.dirty_nodes] (nodes newly
-    dirtied per footprint); spans [engine.pass] (one per resynthesis pass)
+    landed through a multi-splice flush), and the {!Idcache} probes
+    [idcache.hits], [idcache.npn_hits], [idcache.disk_hits],
+    [idcache.misses], [idcache.canon_ns]; histograms [engine.cut_size],
+    [engine.dirty_nodes] (nodes newly dirtied per footprint) and
+    [idcache.class_hits]; spans [engine.pass] (one per resynthesis pass)
     and [engine.commit_flush] (one per deferred-commit flush).
     [extract.words] counts the 64-minterm words swept by the bit-parallel
     extractor (see {!Subcircuit.extract}). *)

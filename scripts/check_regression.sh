@@ -7,10 +7,14 @@
 # circuits are generated from fixed seeds, so their sizes are exactly
 # reproducible and any drift is a real behaviour change. Wall times and
 # speedups are machine-dependent and deliberately not gated here — with
-# two exceptions: the `incremental` section compares the engine against
+# three exceptions: the `incremental` section compares the engine against
 # itself at identical domain counts, so its speedup (and its bit-identity
-# flag) must hold on any machine and is gated via `gate_ok` below; and
-# the `sat_atpg` section's `escalation_ok` asserts that no PODEM-aborted
+# flag) must hold on any machine and is gated via `gate_ok` below; the
+# `idcache` section's `gate_ok` asserts the persistent identification
+# cache's determinism contract (off = cold = warm bit-identity, warm-start
+# disk hits, an NPN class layer that strictly improves on raw keys, and a
+# warm hit rate at least the cold one — DESIGN.md §15); and the
+# `sat_atpg` section's `escalation_ok` asserts that no PODEM-aborted
 # fault stays undecided after SAT escalation (DESIGN.md §14), which is a
 # determinism property, not a timing one.
 #
@@ -26,23 +30,37 @@ if [ ! -f "$baseline" ]; then
     exit 2
 fi
 
+# The persistent identification store must never be committed: it is a
+# machine-local, append-only artifact (DESIGN.md §15).
+if [ -n "$(git ls-files data/cache 2>/dev/null)" ]; then
+    echo "check_regression: data/cache artifacts are committed; remove them" >&2
+    exit 1
+fi
+if ! grep -q '^data/cache/$' .gitignore 2>/dev/null; then
+    echo "check_regression: .gitignore must exclude data/cache/" >&2
+    exit 1
+fi
+
 dune build bin/sft_cli.exe bench/main.exe
 
 tmp=$(mktemp -t bench-smoke.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT INT TERM
 
-echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental,sat_atpg)..."
+echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental,idcache,sat_atpg)..."
 dune exec --no-build bench/main.exe -- \
-    --quick --only micro,kernels,incremental,sat_atpg --domains 2 --json "$tmp" > /dev/null
+    --quick --only micro,kernels,incremental,idcache,sat_atpg --domains 2 --json "$tmp" > /dev/null
 
-# Incremental resynthesis gate: dirty-region tracking must reproduce the
-# full re-enumeration path bit-for-bit and not be slower than it.
+# Incremental-resynthesis and idcache gates: dirty-region tracking must
+# reproduce the full re-enumeration path bit-for-bit and not be slower
+# than it; the persistent identification cache must land identical
+# circuits off/cold/warm with warm-start disk hits and an NPN layer that
+# pays for itself.
 if grep -q '"identical_results": false' "$tmp"; then
-    echo "check_regression: incremental engine diverged from full path" >&2
+    echo "check_regression: a bit-identity section diverged (incremental or idcache)" >&2
     exit 1
 fi
 if grep -q '"gate_ok": false' "$tmp"; then
-    echo "check_regression: incremental section gate failed (speedup < 1 or no cuts skipped)" >&2
+    echo "check_regression: a section gate failed (incremental speedup/skip or idcache warm-start/NPN/hit-rate)" >&2
     exit 1
 fi
 

@@ -10,9 +10,13 @@
      [{[ ... ]}], non-empty [{!...}] references;
    - comment delimiters themselves are balanced.
 
-   Usage: doc_lint.exe DIR... — checks every .mli under the given
-   directories (non-recursive). Exits 1 listing each offending file:line.
-   Where odoc is installed, `dune build @doc` remains the full build. *)
+   Usage: doc_lint.exe DIR... [--strict DIR...] — checks every .mli under
+   the given directories (non-recursive). Directories after --strict are
+   additionally held to full value coverage: every `val` declaration must
+   carry an attached doc comment (directly above, on the same line, or in
+   the lines immediately below — the placements odoc attaches). Exits 1
+   listing each offending file:line. Where odoc is installed,
+   `dune build @doc` remains the full build. *)
 
 let errors = ref 0
 
@@ -119,7 +123,35 @@ let check_markup file line body =
   done;
   if !braces > 0 then err file line "unclosed { in doc comment"
 
-let check_file file =
+(* Strict value coverage: every `val` line must have a doc comment ending on
+   the previous (or same) line, or starting within the few lines below it —
+   the placements odoc attaches to the declaration. *)
+let check_val_coverage file s cs =
+  let docs =
+    List.filter_map
+      (fun (start_line, is_doc, body) ->
+        if not is_doc then None
+        else
+          let ends = ref start_line in
+          String.iter (fun c -> if c = '\n' then incr ends) body;
+          Some (start_line, !ends))
+      cs
+  in
+  let line_no = ref 0 in
+  String.split_on_char '\n' s
+  |> List.iter (fun raw ->
+         incr line_no;
+         let l = !line_no and t = String.trim raw in
+         if String.length t > 4 && String.sub t 0 4 = "val " then
+           let attached =
+             List.exists
+               (fun (ds, de) -> de = l - 1 || de = l || (ds >= l && ds <= l + 4))
+               docs
+           in
+           if not attached then
+             err file l "undocumented val (strict coverage): %s" t)
+
+let check_file ~strict file =
   let ic = open_in_bin file in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -139,24 +171,39 @@ let check_file file =
   | (1, true, _) :: _ when first_code < String.length s && s.[first_code] = '('
     -> ()
   | _ -> err file 1 "missing module synopsis (** ... *) at the top");
-  List.iter (fun (line, is_doc, body) -> if is_doc then check_markup file line body) cs
+  List.iter (fun (line, is_doc, body) -> if is_doc then check_markup file line body) cs;
+  if strict then check_val_coverage file s cs
 
 let () =
-  let dirs = List.tl (Array.to_list Sys.argv) in
-  if dirs = [] then begin
-    prerr_endline "usage: doc_lint.exe DIR...";
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: doc_lint.exe DIR... [--strict DIR...]";
     exit 2
   end;
-  let files =
-    List.concat_map
-      (fun dir ->
-        Sys.readdir dir |> Array.to_list
-        |> List.filter (fun f -> Filename.check_suffix f ".mli")
-        |> List.map (Filename.concat dir)
-        |> List.sort compare)
-      dirs
+  let dirs, strict_dirs =
+    match
+      List.fold_left
+        (fun (normal, strict, seen) a ->
+          if a = "--strict" then (normal, strict, true)
+          else if seen then (normal, a :: strict, true)
+          else (a :: normal, strict, false))
+        ([], [], false) args
+    with
+    | n, st, _ -> (List.rev n, List.rev st)
   in
-  List.iter check_file files;
+  let list_mlis dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mli")
+    |> List.map (Filename.concat dir)
+    |> List.sort compare
+  in
+  let files =
+    List.concat_map (fun d -> List.map (fun f -> (false, f)) (list_mlis d)) dirs
+    @ List.concat_map
+        (fun d -> List.map (fun f -> (true, f)) (list_mlis d))
+        strict_dirs
+  in
+  List.iter (fun (strict, f) -> check_file ~strict f) files;
   if !errors > 0 then begin
     Printf.eprintf "doc-lint: %d error(s)\n" !errors;
     exit 1

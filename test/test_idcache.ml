@@ -1,0 +1,361 @@
+(* The NPN-canonical, disk-persistent identification cache (DESIGN.md §15):
+   the flip kernel against a per-minterm reference, canonicalisation as an
+   exact NPN-equivalence decision procedure (class counts are known for
+   small arities), soundness of the layered cache against the exact
+   identifier over whole orbits, and the disk store's round-trip,
+   version-mismatch, torn-tail and warm-start behaviour. *)
+
+open Helpers
+
+let tt_of_ref n r = Truthtable.create n (fun m -> r.(m))
+
+let random_table rng n =
+  Truthtable.create n (fun _ -> Rng.int rng 2 = 1)
+
+(* --- Truthtable.flip ------------------------------------------------------- *)
+
+let test_flip_reference () =
+  for n = 1 to 8 do
+    let rng = Rng.create (Int64.of_int (100 + n)) in
+    let r = Array.init (1 lsl n) (fun _ -> Rng.int rng 2 = 1) in
+    let t = tt_of_ref n r in
+    for var = 1 to n do
+      let flipped = Truthtable.flip t ~var in
+      for m = 0 to (1 lsl n) - 1 do
+        let m' = m lxor (1 lsl (n - var)) in
+        if Truthtable.get flipped m <> r.(m') then
+          Alcotest.failf "flip n=%d var=%d minterm %d" n var m
+      done;
+      if not (Truthtable.equal (Truthtable.flip flipped ~var) t) then
+        Alcotest.failf "flip^2 <> id (n=%d var=%d)" n var
+    done
+  done
+
+(* --- NPN canonicalisation -------------------------------------------------- *)
+
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun r -> x :: r) (perms (List.filter (( <> ) x) l)))
+      l
+
+(* Every NPN transform of arity [n] (2^(n+1) * n! of them). *)
+let all_transforms n =
+  let pis = List.map Array.of_list (perms (List.init n (fun i -> i + 1))) in
+  List.concat_map
+    (fun pi ->
+      List.concat_map
+        (fun negate ->
+          List.init (1 lsl n) (fun phase -> { Npn.pi; phase; negate }))
+        [ false; true ])
+    pis
+
+let random_transform rng n =
+  let pi = Array.init n (fun j -> j + 1) in
+  for j = n - 1 downto 1 do
+    let k = Rng.int rng (j + 1) in
+    let t = pi.(j) in
+    pi.(j) <- pi.(k);
+    pi.(k) <- t
+  done;
+  { Npn.pi; phase = Rng.int rng (1 lsl n); negate = Rng.int rng 2 = 1 }
+
+let test_canon_decomposition () =
+  for n = 1 to 4 do
+    let rng = Rng.create (Int64.of_int (200 + n)) in
+    for _ = 1 to 20 do
+      let f = random_table rng n in
+      let c = Npn.canon f in
+      if not (Truthtable.equal (Npn.apply c.Npn.tr f) c.Npn.repr) then
+        Alcotest.failf "apply tr f <> repr (n=%d, f=%s)" n (Truthtable.to_string f);
+      check int_ "psi = push_phase tr" (Npn.push_phase c.Npn.tr) c.Npn.psi
+    done
+  done
+
+let test_canon_invariance_exhaustive () =
+  (* n = 3, all 256 functions x all 96 transforms: the canonical
+     representative is constant on every orbit. *)
+  let n = 3 in
+  let transforms = all_transforms n in
+  for v = 0 to 255 do
+    let f = Truthtable.of_minterms n (List.filter (fun m -> v land (1 lsl m) <> 0) (List.init 8 Fun.id)) in
+    let repr = (Npn.canon f).Npn.repr in
+    List.iter
+      (fun tr ->
+        let g = Npn.apply tr f in
+        if not (Truthtable.equal (Npn.canon g).Npn.repr repr) then
+          Alcotest.failf "canon not orbit-invariant (v=%d, g=%s)" v
+            (Truthtable.to_string g))
+      transforms
+  done
+
+(* canon(f) = canon(g) <=> f ~NPN g, checked exhaustively through the known
+   NPN class counts: distinct representatives over all 2^(2^n) functions
+   must number 2, 4, 14, 222 for n = 1..4 (e.g. Tarau & Luderman's
+   catalogues; the counts pin both directions of the iff — fewer classes
+   would mean a collision between inequivalent functions, more would mean
+   an orbit with two representatives, given the orbit-invariance test
+   above). *)
+let test_canon_class_counts () =
+  List.iter
+    (fun (n, expected) ->
+      let seen = Hashtbl.create 256 in
+      for v = 0 to (1 lsl (1 lsl n)) - 1 do
+        let f = Truthtable.create n (fun m -> v land (1 lsl m) <> 0) in
+        Hashtbl.replace seen (Truthtable.to_string (Npn.canon f).Npn.repr) ()
+      done;
+      check int_ (Printf.sprintf "NPN classes at n=%d" n) expected
+        (Hashtbl.length seen))
+    [ (1, 2); (2, 4); (3, 14); (4, 222) ]
+
+(* --- cache soundness over whole orbits ------------------------------------- *)
+
+(* Populate a cache with every 3-input function's exact verdict, then query
+   every NPN image of every function: a raw hit must replay the exact
+   verdict, and an NPN-layer hit must only ever stand in for a genuine
+   negative. This exercises the load-bearing subtlety that
+   comparison-function-ness is *not* NPN-invariant (DESIGN.md §15). *)
+let test_cache_sound_on_orbits () =
+  let n = 3 in
+  let cache = Idcache.create () in
+  let all = List.init 256 Fun.id in
+  let table_of v =
+    Truthtable.create n (fun m -> v land (1 lsl m) <> 0)
+  in
+  List.iter
+    (fun v ->
+      let f = table_of v in
+      match Idcache.find cache f with
+      | Idcache.Hit _ | Idcache.Neg_hit -> ()
+      | Idcache.Miss m -> Idcache.record cache m (Comparison_fn.identify_exact f))
+    all;
+  let transforms = all_transforms n in
+  List.iter
+    (fun v ->
+      let f = table_of v in
+      List.iter
+        (fun tr ->
+          let g = Npn.apply tr f in
+          let truth = Comparison_fn.identify_exact g in
+          match Idcache.find cache g with
+          | Idcache.Miss _ -> ()
+          | Idcache.Hit verdict ->
+            if verdict <> truth then
+              Alcotest.failf "raw hit returned a wrong verdict for %s"
+                (Truthtable.to_string g)
+          | Idcache.Neg_hit ->
+            if truth <> None then
+              Alcotest.failf
+                "NPN layer claimed %s is not a comparison function, but it is"
+                (Truthtable.to_string g))
+        transforms)
+    all
+
+(* --- disk store ------------------------------------------------------------ *)
+
+let tmpdir () =
+  let d = Filename.temp_file "sft-idcache" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let populate_n3 cache count =
+  (* Record the first [count] 3-input functions' verdicts (cache-miss order). *)
+  for v = 0 to count - 1 do
+    let f = Truthtable.create 3 (fun m -> v land (1 lsl m) <> 0) in
+    match Idcache.find cache f with
+    | Idcache.Hit _ | Idcache.Neg_hit -> ()
+    | Idcache.Miss m -> Idcache.record cache m (Comparison_fn.identify_exact f)
+  done
+
+let test_disk_round_trip () =
+  let dir = tmpdir () in
+  let cold = Idcache.create ~dir () in
+  populate_n3 cold 64;
+  let raw_n = Idcache.length cold and npn_n = Idcache.npn_length cold in
+  Idcache.finish cold;
+  let warm = Idcache.create ~dir () in
+  check int_ "raw entries survive the round trip" raw_n (Idcache.length warm);
+  check int_ "npn entries survive the round trip" npn_n (Idcache.npn_length warm);
+  for v = 0 to 63 do
+    (* Every populated function must warm-hit: raw entries replay the exact
+       verdict; functions that NPN-hit during population have no raw entry
+       and must NPN-hit again, which is only sound for negatives. *)
+    let f = Truthtable.create 3 (fun m -> v land (1 lsl m) <> 0) in
+    let truth = Comparison_fn.identify_exact f in
+    match Idcache.find warm f with
+    | Idcache.Hit verdict ->
+      if verdict <> truth then Alcotest.failf "warm verdict differs for %d" v
+    | Idcache.Neg_hit ->
+      if truth <> None then Alcotest.failf "unsound warm NPN hit for %d" v
+    | Idcache.Miss _ -> Alcotest.failf "expected a warm hit for %d" v
+  done
+
+let test_disk_version_mismatch () =
+  let dir = tmpdir () in
+  let path = Id_store.file ~dir in
+  (* A well-formed header with the wrong version must read as empty... *)
+  let oc = open_out_bin path in
+  output_string oc "SFTIDC";
+  output_string oc "\x63\x00" (* version 99 *);
+  output_string oc "garbage that must never be parsed as records";
+  close_out oc;
+  check int_ "version mismatch reads as empty" 0 (List.length (Id_store.load path));
+  (* ...and the next append must rewrite the file, not extend it. *)
+  let t = Truthtable.of_minterms 3 [ 1; 2; 3 ] in
+  Id_store.append path [ Id_store.Raw (t, Comparison_fn.identify_exact t) ];
+  (match Id_store.load path with
+  | [ Id_store.Raw (t', v) ] ->
+    check bool_ "table round-trips" true (Truthtable.equal t t');
+    if v <> Comparison_fn.identify_exact t then Alcotest.fail "verdict changed"
+  | _ -> Alcotest.fail "append after mismatch did not rewrite");
+  ()
+
+let test_disk_torn_tail () =
+  let dir = tmpdir () in
+  let path = Id_store.file ~dir in
+  let tables =
+    List.map (fun ms -> Truthtable.of_minterms 3 ms) [ [ 0 ]; [ 1; 2 ]; [ 3; 4; 5 ] ]
+  in
+  Id_store.append path
+    (List.map (fun t -> Id_store.Raw (t, Comparison_fn.identify_exact t)) tables);
+  check int_ "three records" 3 (List.length (Id_store.load path));
+  (* Tear the last record: readers keep the prefix... *)
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (len - 3);
+  Unix.close fd;
+  check int_ "torn tail drops one record" 2 (List.length (Id_store.load path));
+  (* ...and the next append repairs the tail before extending. *)
+  let extra = Truthtable.of_minterms 3 [ 6; 7 ] in
+  Id_store.append path [ Id_store.Raw (extra, Comparison_fn.identify_exact extra) ];
+  let entries = Id_store.load path in
+  check int_ "repair + append" 3 (List.length entries);
+  (match List.rev entries with
+  | Id_store.Raw (t, _) :: _ ->
+    check bool_ "appended record intact" true (Truthtable.equal t extra)
+  | _ -> Alcotest.fail "unexpected tail entry")
+
+let test_disk_corrupt_record () =
+  let dir = tmpdir () in
+  let path = Id_store.file ~dir in
+  let raw ms =
+    let t = Truthtable.of_minterms 3 ms in
+    Id_store.Raw (t, Comparison_fn.identify_exact t)
+  in
+  (* Append the first record alone so its encoded length is observable
+     (records vary in size with the verdict payload), then two more. *)
+  Id_store.append path [ raw [ 0 ] ];
+  let first_end = (Unix.stat path).Unix.st_size in
+  Id_store.append path [ raw [ 1; 2 ]; raw [ 3; 4; 5 ] ];
+  check int_ "three records before corruption" 3 (List.length (Id_store.load path));
+  (* Flip a byte inside the second record's table words: the checksum
+     rejects it and parsing stops — record 1 survives, 2 and 3 drop. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (first_end + 4) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+  ignore (Unix.lseek fd (first_end + 4) Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  check int_ "corruption truncates at the bad record" 1
+    (List.length (Id_store.load path))
+
+(* --- engine warm start ----------------------------------------------------- *)
+
+let optimize_fingerprint options c =
+  let c = Circuit.copy c in
+  let stats = Engine.optimize Engine.Gates options c in
+  ( stats.Engine.passes,
+    stats.Engine.replacements,
+    stats.Engine.gates_after,
+    stats.Engine.paths_after,
+    Bench_format.to_string c )
+
+let counter v = Obs.Counter.value (Obs.Counter.make v)
+
+let test_engine_warm_start_identity () =
+  let dir = tmpdir () in
+  let c = random_circuit ~n_pi:6 ~n_gates:40 3 in
+  let base = { Engine.default_options with Engine.verify = `Off; domains = 1 } in
+  Obs.enable ();
+  let off = optimize_fingerprint { base with Engine.id_cache = false } c in
+  let cold = optimize_fingerprint { base with Engine.cache_dir = Some dir } c in
+  let d0 = counter "idcache.disk_hits" in
+  let warm = optimize_fingerprint { base with Engine.cache_dir = Some dir } c in
+  let disk_hits = counter "idcache.disk_hits" - d0 in
+  Obs.disable ();
+  if cold <> off then Alcotest.fail "cold cached run diverges from cache-off";
+  if warm <> off then Alcotest.fail "warm cached run diverges from cache-off";
+  if disk_hits = 0 then Alcotest.fail "warm run never hit the disk store"
+
+(* --- qcheck ---------------------------------------------------------------- *)
+
+let arb_seed = QCheck.int_range 1 1_000_000
+
+let prop_canon_invariant_k56 =
+  QCheck.Test.make ~name:"canon is NPN-orbit-invariant at K = 5, 6" ~count:60
+    (QCheck.pair (QCheck.int_range 5 6) arb_seed)
+    (fun (n, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let f = random_table rng n in
+      let c = Npn.canon f in
+      let g = Npn.apply (random_transform rng n) f in
+      let cg = Npn.canon g in
+      Truthtable.equal (Npn.apply c.Npn.tr f) c.Npn.repr
+      && Truthtable.equal cg.Npn.repr c.Npn.repr
+      && c.Npn.psi = Npn.push_phase c.Npn.tr)
+
+let prop_store_round_trip =
+  QCheck.Test.make ~name:"disk entries round-trip bit-exactly" ~count:30 arb_seed
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let dir = tmpdir () in
+      let path = Id_store.file ~dir in
+      let entries =
+        List.init 5 (fun i ->
+            let n = 1 + Rng.int rng 6 in
+            let t = random_table rng n in
+            if i mod 2 = 0 then Id_store.Raw (t, Comparison_fn.identify_exact t)
+            else
+              let c = Npn.canon t in
+              Id_store.Npn_neg (c.Npn.repr, c.Npn.psi))
+      in
+      Id_store.append path entries;
+      let back = Id_store.load path in
+      List.length back = List.length entries
+      && List.for_all2
+           (fun a b ->
+             match (a, b) with
+             | Id_store.Raw (t, v), Id_store.Raw (t', v') ->
+               Truthtable.equal t t' && v = v'
+             | Id_store.Npn_neg (t, p), Id_store.Npn_neg (t', p') ->
+               Truthtable.equal t t' && p = p'
+             | _ -> false)
+           entries back)
+
+let suite =
+  [
+    Alcotest.test_case "flip matches per-minterm reference" `Quick test_flip_reference;
+    Alcotest.test_case "canon decomposes: apply tr f = repr" `Quick
+      test_canon_decomposition;
+    Alcotest.test_case "canon orbit-invariant (n=3, exhaustive)" `Quick
+      test_canon_invariance_exhaustive;
+    Alcotest.test_case "NPN class counts 2/4/14/222 (n=1..4)" `Slow
+      test_canon_class_counts;
+    Alcotest.test_case "cache sound over whole orbits (n=3)" `Slow
+      test_cache_sound_on_orbits;
+    Alcotest.test_case "disk round trip" `Quick test_disk_round_trip;
+    Alcotest.test_case "version mismatch reads empty, append rewrites" `Quick
+      test_disk_version_mismatch;
+    Alcotest.test_case "torn tail: reader keeps prefix, writer repairs" `Quick
+      test_disk_torn_tail;
+    Alcotest.test_case "checksum rejects corrupt record" `Quick
+      test_disk_corrupt_record;
+    Alcotest.test_case "engine warm start: identical circuits, disk hits" `Slow
+      test_engine_warm_start_identity;
+  ]
+
+let qchecks = [ prop_canon_invariant_k56; prop_store_round_trip ]
