@@ -193,6 +193,23 @@ type sat_atpg_row = {
   sa_seconds : float;
 }
 
+(* Decision journal (DESIGN.md §16): the same resynthesis run with and
+   without a journal attached. [jr_identical] is the bit-identity gate
+   (journaling never perturbs results); [jr_gate_ok] additionally requires
+   the journal to load cleanly, record events, and satisfy the decision-
+   funnel invariant. *)
+type journal_row = {
+  jr_circuit : string;
+  jr_events : int;
+  jr_dropped : int;
+  jr_plain_s : float;
+  jr_journal_s : float;
+  jr_overhead_pct : float;
+  jr_identical : bool; (* plain = journaled *)
+  jr_funnel_ok : bool;
+  jr_gate_ok : bool;
+}
+
 let json_sections : (string * string * float) list ref = ref []
 let json_circuits : (string * int * int * int * int) list ref = ref []
 let json_speedups : speedup_row list ref = ref []
@@ -200,6 +217,7 @@ let json_kernels : kernel_row list ref = ref []
 let json_incremental : incr_row list ref = ref []
 let json_idcache : idc_row list ref = ref []
 let json_sat_atpg : sat_atpg_row list ref = ref []
+let json_journal : journal_row list ref = ref []
 
 let record_circuit name c =
   let row =
@@ -1458,6 +1476,89 @@ let idcache () =
   Printf.printf "  identical results: %b (off vs cold vs warm)\n%!" identical
 
 (* ------------------------------------------------------------------ *)
+(* "Decision journal" section (DESIGN.md §16).                          *)
+(* ------------------------------------------------------------------ *)
+
+let journal () =
+  Obs.enable ();
+  let base =
+    Circuit_gen.generate
+      {
+        Circuit_gen.name = "jr-large";
+        n_pi = 200;
+        n_po = 180;
+        n_gates = (if !quick then 2600 else 5200);
+        depth = 4;
+        combine_pct = 1;
+        xor_pct = 4;
+        seed = 2424L;
+      }
+  in
+  record_circuit "jr-large" base;
+  let o =
+    { (proc2_options 4) with Engine.max_candidates = 24; max_passes = 2; domains = 1 }
+  in
+  let run () =
+    let c = Circuit.copy base in
+    let t0 = wall () in
+    let stats = Engine.optimize Engine.Gates o c in
+    (stats, Bench_format.to_string c, max 0. (wall () -. t0))
+  in
+  (* One throwaway run warms the allocator and the engine's lazy state so
+     the plain-vs-journaled wall comparison isn't dominated by first-run
+     effects; each variant then keeps its best of two runs. *)
+  ignore (run ());
+  let s_plain, n_plain, ta = run () in
+  let _, _, tb = run () in
+  let t_plain = min ta tb in
+  let path = Filename.temp_file "sft_bench" ".journal" in
+  Obs.Journal.start ~cmd:"bench" path;
+  let s_j, n_j, tc = run () in
+  let _, _, td = run () in
+  let t_j = min tc td in
+  let w = Obs.Journal.finish () in
+  let identical = s_plain = s_j && n_plain = n_j in
+  let events, dropped, funnel_ok, funnel_line =
+    match Run_report.load path with
+    | Error msg ->
+      Printf.printf "  journal failed to load: %s\n" msg;
+      (0, 0, false, "")
+    | Ok r ->
+      let f = Run_report.funnel r in
+      ( Run_report.events r,
+        Run_report.dropped r,
+        Run_report.funnel_ok r && not (Run_report.truncated r),
+        Printf.sprintf "%d candidates -> %d identified -> %d verified -> %d committed"
+          f.Run_report.candidates f.Run_report.identified f.Run_report.verified
+          f.Run_report.committed )
+  in
+  Sys.remove path;
+  let overhead =
+    if t_plain > 0. then 100. *. ((t_j -. t_plain) /. t_plain) else 0.
+  in
+  let row =
+    {
+      jr_circuit = "jr-large";
+      jr_events = events;
+      jr_dropped = dropped;
+      jr_plain_s = t_plain;
+      jr_journal_s = t_j;
+      jr_overhead_pct = overhead;
+      jr_identical = identical;
+      jr_funnel_ok = funnel_ok;
+      jr_gate_ok = identical && funnel_ok && events > 0 && w.Obs.Journal.dropped = 0;
+    }
+  in
+  json_journal := row :: !json_journal;
+  Printf.printf "decision journal on %s (%d two-input gates)\n" row.jr_circuit
+    (Circuit.two_input_gate_count base);
+  Printf.printf "  plain    %7.3fs   journaled %7.3fs   (overhead %+.1f%%)\n"
+    t_plain t_j overhead;
+  Printf.printf "  events %d, dropped %d\n" events dropped;
+  if funnel_line <> "" then Printf.printf "  funnel: %s (holds: %b)\n" funnel_line funnel_ok;
+  Printf.printf "  identical results: %b (plain vs journaled)\n%!" identical
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable snapshot (--json FILE). Schema: DESIGN.md,          *)
 (* "Parallel execution" section.                                        *)
 (* ------------------------------------------------------------------ *)
@@ -1597,6 +1698,20 @@ let write_json file =
            r.sa_conflict_budget r.sa_escalation_ok r.sa_seconds))
     (List.rev !json_sat_atpg);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"journal\": [\n";
+  List.iteri
+    (fun i r ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"circuit\": \"%s\", \"events\": %d, \"dropped\": %d, \
+            \"plain_seconds\": %.6f, \"journal_seconds\": %.6f, \
+            \"overhead_pct\": %.2f, \"funnel_ok\": %b, \
+            \"identical_results\": %b, \"gate_ok\": %b}"
+           (json_escape r.jr_circuit) r.jr_events r.jr_dropped r.jr_plain_s
+           r.jr_journal_s r.jr_overhead_pct r.jr_funnel_ok r.jr_identical
+           r.jr_gate_ok))
+    (List.rev !json_journal);
+  Buffer.add_string b "\n  ],\n";
   (* Schema v2: a summary of the event-tracing buffers, so a snapshot
      records whether its trace (if any) was complete or lossy. *)
   let ts = Obs.Trace.stats () in
@@ -1631,6 +1746,7 @@ let () =
   section "incremental" "incremental resynthesis vs full re-enumeration" incremental;
   section "idcache" "persistent identification cache: cold vs warm vs off" idcache;
   section "sat_atpg" "SAT escalation of PODEM-aborted faults" sat_atpg;
+  section "journal" "decision journal: overhead and bit-identity" journal;
   (match !json_file with
   | None -> ()
   | Some file -> (

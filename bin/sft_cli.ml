@@ -5,9 +5,11 @@
 
    Every subcommand accepts --metrics [text|json|FILE], --trace, and
    --trace-out FILE (Chrome trace-event export; observability, see Obs and
-   DESIGN.md §9 and §11). With --metrics json the
-   metrics document owns stdout and all human-readable output moves to
-   stderr, so `sft fsim --metrics json -` composes in a pipe. *)
+   DESIGN.md §9 and §11); optimize/check/fsim/atpg additionally accept
+   --journal FILE (structured decision journal, DESIGN.md §16, analysed
+   with `sft report`). With --metrics json the metrics document owns
+   stdout and all human-readable output moves to stderr, so
+   `sft fsim --metrics json -` composes in a pipe. *)
 
 open Cmdliner
 
@@ -98,11 +100,28 @@ let trace_out_arg =
            them to FILE as a Chrome trace-event JSON array (open with \
            chrome://tracing or Perfetto).")
 
-(* [with_obs metrics trace trace_out body] runs [body ppf] with observability
-   enabled as requested and exports the registry afterwards (also on failure,
-   so an interrupted run still reports what it measured). [ppf] is where the
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured decision journal to FILE as JSONL while the \
+           command runs: splice accepts/rollbacks with cut and gain, \
+           identification verdicts tagged by cache source, PODEM aborts and \
+           their SAT-escalation outcomes, redundancy proofs, CEC verdicts \
+           and periodic runtime (GC/RSS) samples. Analyse afterwards with \
+           $(b,sft report). Implies metrics collection; results are \
+           bit-identical with or without a journal.")
+
+(* [with_obs ~cmd metrics trace trace_out body] runs [body ppf] with
+   observability enabled as requested and exports the registry afterwards
+   (also on failure, so an interrupted run still reports what it measured).
+   [journal], where a command offers it, opens an [Obs.Journal] destined for
+   the given file and tagged with [cmd]; journaling needs the funnel
+   counters, so it switches metrics collection on too. [ppf] is where the
    command's human-readable output goes: stderr when stdout carries JSON. *)
-let with_obs metrics trace trace_out body =
+let with_obs ?journal ~cmd metrics trace trace_out body =
   let metrics =
     match metrics with
     | None -> MNone
@@ -112,10 +131,26 @@ let with_obs metrics trace trace_out body =
   in
   if metrics <> MNone || trace then Obs.enable ();
   if trace_out <> None then Obs.Trace.enable ();
+  (match journal with
+  | Some path ->
+    Obs.enable ();
+    Obs.Journal.start ~cmd path;
+    (* Anchor the GC/RSS baselines so the first periodic sample reports a
+       run-relative delta, not process-lifetime totals. *)
+    Obs.Runtime.sample ()
+  | None -> ());
   let ppf = if metrics = MJson then Format.err_formatter else Format.std_formatter in
   Fun.protect
     ~finally:(fun () ->
       Format.pp_print_flush ppf ();
+      (match journal with
+      | Some path ->
+        Obs.Runtime.sample ();
+        let s = Obs.Journal.finish () in
+        if s.Obs.Journal.dropped > 0 then
+          Printf.eprintf "sft: journal %s: %d event(s) dropped (buffers full)\n"
+            path s.Obs.Journal.dropped
+      | None -> ());
       if trace then prerr_string (Obs.Export.trace_text ());
       (match trace_out with
       | Some path ->
@@ -152,7 +187,7 @@ let print_stats ppf c =
 
 let stats_cmd =
   let run file bench metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+    with_obs ~cmd:"stats" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         print_stats ppf c)
   in
@@ -187,7 +222,7 @@ let list_cmd =
 
 let gen_cmd =
   let run name raw output metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+    with_obs ~cmd:"gen" metrics trace trace_out (fun ppf ->
         let e = Benchmarks.find name in
         let c =
           if raw then Circuit_gen.generate e.Benchmarks.profile else Benchmarks.build e
@@ -208,8 +243,8 @@ let gen_cmd =
 let optimize_cmd =
   let run file bench objective k engine budget no_merge verify dontcares units
       no_id_cache cache_dir incremental commit_batch domains output metrics trace
-      trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+      trace_out journal =
+    with_obs ?journal ~cmd:"optimize" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let objective =
           match objective with
@@ -333,14 +368,14 @@ let optimize_cmd =
       const run $ file_arg $ bench_arg $ objective $ k $ engine $ budget $ no_merge
       $ verify $ dontcares $ units $ no_id_cache $ cache_dir $ incremental
       $ commit_batch $ domains_arg $ output_arg $ metrics_arg $ trace_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ journal_arg)
 
 (* --- check ----------------------------------------------------------------- *)
 
 let check_cmd =
-  let run file_a file_b budget domains metrics trace trace_out =
+  let run file_a file_b budget domains metrics trace trace_out journal =
     let code =
-      with_obs metrics trace trace_out (fun ppf ->
+      with_obs ?journal ~cmd:"check" metrics trace trace_out (fun ppf ->
           let a = load ~file:(Some file_a) ~bench:None in
           let b = load ~file:(Some file_b) ~bench:None in
           let result =
@@ -405,13 +440,14 @@ let check_cmd =
           status: 0 equivalent, 1 counterexample (printed as an input \
           assignment), 2 budget exhausted.")
     Term.(
-      const run $ file_a $ file_b $ budget $ domains_arg $ metrics_arg $ trace_arg $ trace_out_arg)
+      const run $ file_a $ file_b $ budget $ domains_arg $ metrics_arg $ trace_arg
+      $ trace_out_arg $ journal_arg)
 
 (* --- rar ------------------------------------------------------------------ *)
 
 let rar_cmd =
   let run file bench additions trials seed output metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+    with_obs ~cmd:"rar" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let options =
           { Rar.default_options with Rar.max_additions = additions; max_trials = trials; seed }
@@ -433,7 +469,7 @@ let rar_cmd =
 
 let redundancy_cmd =
   let run file bench no_sat seed output metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+    with_obs ~cmd:"redundancy" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let report = Redundancy.remove ~sat:(not no_sat) ~seed c in
         Format.fprintf ppf "%a@." Redundancy.pp_report report;
@@ -477,8 +513,8 @@ let sat_atpg_flag =
            denominator.")
 
 let fsim_cmd =
-  let run file bench patterns domains seed sat_atpg metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+  let run file bench patterns domains seed sat_atpg metrics trace trace_out journal =
+    with_obs ?journal ~cmd:"fsim" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let cfg = { Campaign.default with max_patterns = patterns; domains; seed } in
         if not sat_atpg then
@@ -516,13 +552,13 @@ let fsim_cmd =
     (Cmd.info "fsim" ~doc:"Random-pattern stuck-at fault simulation campaign (Table 6).")
     Term.(
       const run $ file_arg $ bench_arg $ patterns $ domains_arg $ seed_arg
-      $ sat_atpg_flag $ metrics_arg $ trace_arg $ trace_out_arg)
+      $ sat_atpg_flag $ metrics_arg $ trace_arg $ trace_out_arg $ journal_arg)
 
 (* --- atpg ------------------------------------------------------------------ *)
 
 let atpg_cmd =
-  let run file bench limit sat_atpg metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+  let run file bench limit sat_atpg metrics trace trace_out journal =
+    with_obs ?journal ~cmd:"atpg" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let faults = Fault.collapsed c in
         let stats = Podem.generate_all ~backtrack_limit:limit c faults in
@@ -541,13 +577,13 @@ let atpg_cmd =
   Cmd.v (Cmd.info "atpg" ~doc:"Run PODEM on every collapsed stuck-at fault.")
     Term.(
       const run $ file_arg $ bench_arg $ limit $ sat_atpg_flag $ metrics_arg
-      $ trace_arg $ trace_out_arg)
+      $ trace_arg $ trace_out_arg $ journal_arg)
 
 (* --- pdf ------------------------------------------------------------------ *)
 
 let pdf_cmd =
   let run file bench pairs window domains seed metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+    with_obs ~cmd:"pdf" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let r =
           Pdf_campaign.exec
@@ -577,7 +613,7 @@ let pdf_cmd =
 
 let map_cmd =
   let run file bench metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+    with_obs ~cmd:"map" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let r = Mapper.map c in
         Format.fprintf ppf "%s: literals %d, longest path %d cells, cells used %d@."
@@ -619,7 +655,7 @@ let identify_cmd =
 
 let sop_cmd =
   let run n minterms output metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+    with_obs ~cmd:"sop" metrics trace trace_out (fun ppf ->
         let ms =
           String.split_on_char ',' minterms
           |> List.filter (fun s -> String.trim s <> "")
@@ -648,7 +684,7 @@ let sop_cmd =
 
 let pdfatpg_cmd =
   let run file bench limit max_paths seed metrics trace trace_out =
-    with_obs metrics trace trace_out (fun ppf ->
+    with_obs ~cmd:"pdfatpg" metrics trace trace_out (fun ppf ->
         let c = load ~file ~bench in
         let s = Pdf_atpg.classify_all ~backtrack_limit:limit ~max_paths ~seed c in
         Format.fprintf ppf "%a@." Pdf_atpg.pp_summary s)
@@ -733,6 +769,81 @@ let bench_diff_cmd =
           (parse error, schema mismatch, or nothing aligned).")
     Term.(const run $ old_file $ new_file $ threshold $ metrics)
 
+(* --- report ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run files diff json output =
+    let load path =
+      match Run_report.load path with
+      | Ok r -> r
+      | Error msg -> die "report: %s" msg
+    in
+    let emit text =
+      match output with
+      | Some path -> Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text)
+      | None -> print_string text
+    in
+    match diff with
+    | true -> (
+      match files with
+      | [ a; b ] ->
+        let a = load a and b = load b in
+        emit (Run_report.diff a b);
+        if not (Run_report.funnel_ok a && Run_report.funnel_ok b) then exit 1
+      | _ -> die "report: --diff takes exactly two journals")
+    | false ->
+      if files = [] then die "report: give at least one journal file";
+      let runs = List.map load files in
+      if json then
+        emit (Obs_json.to_string (Run_report.to_json_value runs) ^ "\n")
+      else
+        emit (String.concat "" (List.map Run_report.render runs));
+      List.iter
+        (fun r ->
+          if Run_report.dropped r > 0 then
+            Printf.eprintf "sft: report: %s dropped %d event(s) at record time\n"
+              (Run_report.path r) (Run_report.dropped r);
+          if Run_report.truncated r then
+            Printf.eprintf "sft: report: %s is truncated (no footer)\n"
+              (Run_report.path r))
+        runs;
+      if not (List.for_all Run_report.funnel_ok runs) then begin
+        prerr_endline "sft: report: decision-funnel invariant violated";
+        exit 1
+      end
+  in
+  let files =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"JOURNAL" ~doc:"Journal file(s) written by $(b,--journal).")
+  in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare exactly two journals side by side (wall, funnel, GC, \
+             per-phase wall) instead of reporting each one.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as a single JSON document (report_version 1) \
+             with a top-level $(b,funnel_ok) conjunction for scripting.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyse decision journals recorded with $(b,--journal): per-phase \
+          wall/GC breakdown, the decision funnel (candidates, identified, \
+          verified, committed), identification-source and SAT-escalation \
+          tables. Exit status: 0 ok, 1 the decision-funnel invariant \
+          (committed <= verified <= identified <= candidates) is violated.")
+    Term.(const run $ files $ diff $ json $ output_arg)
+
 let () =
   let doc = "synthesis-for-testability with comparison units (Pomeranz & Reddy, DAC'95)" in
   let info = Cmd.info "sft" ~version:"1.0.0" ~doc in
@@ -754,6 +865,7 @@ let () =
         sop_cmd;
         pdfatpg_cmd;
         bench_diff_cmd;
+        report_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -95,6 +95,10 @@ let remove ?(limits = Limits.default) ?(sat = true) ?prefilter_patterns ~seed c 
             with
             | Podem.Untestable ->
               tie_off c f;
+              if Obs.Journal.enabled () then
+                Obs.Journal.emit "redundancy_proof"
+                  (Fault.journal_fields f
+                  @ [ ("method", Obs_json.String "podem") ]);
               incr removed
             | Podem.Test _ -> ()
             | Podem.Aborted ->
@@ -103,6 +107,10 @@ let remove ?(limits = Limits.default) ?(sat = true) ?prefilter_patterns ~seed c 
                 match Sat_atpg.run engine f with
                 | Sat_atpg.Redundant ->
                   tie_off c f;
+                  if Obs.Journal.enabled () then
+                    Obs.Journal.emit "redundancy_proof"
+                      (Fault.journal_fields f
+                      @ [ ("method", Obs_json.String "sat") ]);
                   incr removed;
                   incr removed_sat
                 | Sat_atpg.Test _ | Sat_atpg.Unknown _ -> ()

@@ -134,11 +134,18 @@ let run t (f : Fault.t) =
                  let d = Cnf.xor_lits t.env [ t.node_lit.(o); flit.(o) ] in
                  if d = Cnf.lfalse t.env then None else Some d)
       in
+      let journal outcome =
+        if Obs.Journal.enabled () then
+          Obs.Journal.emit "sat_escalation"
+            (Fault.journal_fields f
+            @ [ ("outcome", Obs_json.String outcome) ])
+      in
       match diffs with
       | [] ->
         (* Every reachable output hashes to its good-copy literal: the
            fault provably never changes a primary output. *)
         Obs.Counter.incr redundant_c;
+        journal "redundant";
         Redundant
       | _ ->
         let act = Sat.lit (Sat.new_var t.sat) in
@@ -153,12 +160,15 @@ let run t (f : Fault.t) =
         | Sat.Sat ->
           let vec = decode_model t in
           validate_test t f vec;
+          journal "test";
           Test vec
         | Sat.Unsat ->
           Obs.Counter.incr redundant_c;
+          journal "redundant";
           Redundant
         | Sat.Unknown ->
           Obs.Trace.instant ~cat:"atpg" "atpg.sat_budget_exhausted";
+          journal "unknown";
           Unknown t.budget))
 
 type escalation = {

@@ -300,6 +300,19 @@ let check_stats ?(budget = default_budget) ?pool a b =
       Obs.Counter.add decisions_c stats.decisions;
       Obs.Counter.add conflicts_c stats.conflicts;
       Obs.Counter.add propagations_c stats.propagations;
+      if Obs.Journal.enabled () then
+        Obs.Journal.emit "cec_check"
+          [
+            ( "verdict",
+              Obs_json.String
+                (match verdict with
+                | Equivalent -> "equivalent"
+                | Counterexample _ -> "counterexample"
+                | Unknown _ -> "unknown") );
+            ("outputs", Obs_json.Int (Array.length results));
+            ("conflicts", Obs_json.Int stats.conflicts);
+            ("decisions", Obs_json.Int stats.decisions);
+          ];
       (verdict, stats))
 
 let check ?budget ?pool a b = fst (check_stats ?budget ?pool a b)

@@ -31,6 +31,19 @@ let to_string c f =
 
 let pp c ppf f = Format.pp_print_string ppf (to_string c f)
 
+let journal_fields f =
+  let site =
+    match f.site with
+    | Stem u -> [ ("site", Obs_json.String "stem"); ("node", Obs_json.Int u) ]
+    | Branch (g, pin) ->
+      [
+        ("site", Obs_json.String "branch");
+        ("gate", Obs_json.Int g);
+        ("pin", Obs_json.Int pin);
+      ]
+  in
+  site @ [ ("stuck", Obs_json.Int (if f.stuck then 1 else 0)) ]
+
 let is_const_node c id =
   match Circuit.kind c id with
   | Gate.Const0 | Gate.Const1 -> true

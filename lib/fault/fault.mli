@@ -16,6 +16,11 @@ val equal : t -> t -> bool
 val pp : Circuit.t -> Format.formatter -> t -> unit
 val to_string : Circuit.t -> t -> string
 
+val journal_fields : t -> (string * Obs_json.t) list
+(** The fault as {!Obs.Journal} event fields: [site] (["stem"] with [node],
+    or ["branch"] with [gate]/[pin]) and [stuck] (0/1). Purely structural —
+    no circuit needed, so it is stable across journal consumers. *)
+
 val all : Circuit.t -> t list
 (** Uncollapsed fault list: two faults per stem of every live non-constant
     node, plus two per branch pin of multi-fanout stems (constant fanins

@@ -124,6 +124,14 @@ let find t f =
     Atomic.incr e.hits;
     Obs.Counter.incr hits_c;
     if e.from_disk then Obs.Counter.incr disk_hits_c;
+    if Obs.Journal.enabled () then
+      Obs.Journal.emit "identify"
+        [
+          ( "src",
+            Obs_json.String (if e.from_disk then "idcache_raw" else "run_cache")
+          );
+          ("verdict", Obs_json.Bool (e.verdict <> None));
+        ];
     Hit e.verdict
   | None -> (
     let canonical =
@@ -140,12 +148,24 @@ let find t f =
       Atomic.incr ne.nhits;
       Obs.Counter.incr npn_hits_c;
       if ne.nfrom_disk then Obs.Counter.incr disk_hits_c;
+      if Obs.Journal.enabled () then
+        Obs.Journal.emit "identify"
+          [
+            ("src", Obs_json.String "idcache_class");
+            ("verdict", Obs_json.Bool false);
+            ("disk", Obs_json.Bool ne.nfrom_disk);
+          ];
       Neg_hit
     | None ->
       Obs.Counter.incr misses_c;
       Miss { m_table = f; m_repr = canonical.Npn.repr; m_psi = canonical.Npn.psi })
 
 let record t m v =
+  if Obs.Journal.enabled () then
+    Obs.Journal.emit "identify"
+      [
+        ("src", Obs_json.String "fresh"); ("verdict", Obs_json.Bool (v <> None));
+      ];
   if not (TT.mem t.raw m.m_table) then begin
     TT.add t.raw m.m_table { verdict = v; from_disk = false; hits = Atomic.make 0 };
     t.fresh <- Id_store.Raw (m.m_table, v) :: t.fresh;

@@ -7,14 +7,16 @@
    domains aggregate into the same tree without interleaving corruption.
    The registry mutex is also reused for idempotent probe registration.
 
-   The on/off switch is one atomic int with two independent bits — metrics
-   (counters, histograms, span tree) and event tracing (per-domain event
-   buffers, Chrome trace export) — so the fully-disabled fast path in every
+   The on/off switch is one atomic int with three independent bits —
+   metrics (counters, histograms, span tree), event tracing (per-domain
+   event buffers, Chrome trace export) and the decision journal (per-domain
+   event buffers, JSONL file) — so the fully-disabled fast path in every
    probe is still a single atomic load and one predictable branch. *)
 
 let state = Atomic.make 0
 let metrics_bit = 1
 let trace_bit = 2
+let journal_bit = 4
 
 let rec set_bit b =
   let s = Atomic.get state in
@@ -367,6 +369,179 @@ module Trace = struct
     close_out oc
 end
 
+(* --- decision journal ----------------------------------------------------- *)
+
+(* Append-only structured run record (DESIGN.md §16). Same shape as the
+   trace rings: each domain appends decision events to a private bounded
+   buffer (one atomic fetch-and-add for the global sequence id, no locks),
+   and [finish] — the single writer — merges every buffer in sequence order
+   and streams the run out as JSONL. A full buffer counts drops; journaling
+   never blocks a worker and never perturbs the computation it records. *)
+
+module Journal = struct
+  type event = {
+    je_seq : int;
+    je_ts : float; (* raw [now ()] at emission *)
+    je_kind : string;
+    je_fields : (string * Obs_json.t) list;
+  }
+
+  let dummy_event = { je_seq = 0; je_ts = 0.; je_kind = ""; je_fields = [] }
+
+  type buf = {
+    b_tid : int; (* Domain.self of the owning domain *)
+    b_gen : int; (* reset generation this buffer belongs to *)
+    b_events : event array; (* fixed capacity *)
+    mutable b_len : int;
+    mutable b_dropped : int;
+  }
+
+  let default_capacity = 65_536
+  let capacity_cell = Atomic.make default_capacity
+  let set_capacity n = Atomic.set capacity_cell (max 16 n)
+  let capacity () = Atomic.get capacity_cell
+
+  (* Global sequence ids give the merged stream a total order that matches
+     emission order regardless of which domain recorded an event. *)
+  let seq = Atomic.make 0
+
+  (* Open-journal metadata (destination path, producing command, open
+     timestamp) and the buffer registry, both guarded by [mu]; generation
+     bumps reclaim stale per-domain buffers exactly like the trace rings. *)
+  let meta : (string * string * float) option ref = ref None
+  let bufs : buf list ref = ref [] (* reversed registration order *)
+  let generation = Atomic.make 0
+
+  let buf_key : buf option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let get_buf () =
+    let slot = Domain.DLS.get buf_key in
+    let gen = Atomic.get generation in
+    match !slot with
+    | Some b when b.b_gen = gen -> b
+    | _ ->
+      let b =
+        {
+          b_tid = (Domain.self () :> int);
+          b_gen = gen;
+          b_events = Array.make (Atomic.get capacity_cell) dummy_event;
+          b_len = 0;
+          b_dropped = 0;
+        }
+      in
+      locked (fun () -> bufs := b :: !bufs);
+      slot := Some b;
+      b
+
+  let enabled () = Atomic.get state land journal_bit <> 0
+
+  let emit kind fields =
+    if Atomic.get state land journal_bit <> 0 then begin
+      let b = get_buf () in
+      if b.b_len < Array.length b.b_events then begin
+        let s = Atomic.fetch_and_add seq 1 in
+        b.b_events.(b.b_len) <-
+          { je_seq = s; je_ts = now (); je_kind = kind; je_fields = fields };
+        b.b_len <- b.b_len + 1
+      end
+      else b.b_dropped <- b.b_dropped + 1
+    end
+
+  type summary = { buffers : int; recorded : int; dropped : int }
+
+  let stats () =
+    locked (fun () ->
+        List.fold_left
+          (fun acc b ->
+            {
+              buffers = acc.buffers + 1;
+              recorded = acc.recorded + b.b_len;
+              dropped = acc.dropped + b.b_dropped;
+            })
+          { buffers = 0; recorded = 0; dropped = 0 }
+          !bufs)
+
+  let reset () =
+    locked (fun () -> bufs := []);
+    Atomic.incr generation
+
+  let start ?capacity ~cmd path =
+    (match capacity with Some n -> set_capacity n | None -> ());
+    locked (fun () ->
+        meta := Some (path, cmd, now ());
+        bufs := []);
+    Atomic.incr generation;
+    Atomic.set seq 0;
+    set_bit journal_bit
+
+  let version = 1
+
+  let event_json ~t0 tid e =
+    Obs_json.Obj
+      (("ev", Obs_json.String e.je_kind)
+      :: ("seq", Obs_json.Int e.je_seq)
+      :: ("ts", Obs_json.Float (max 0. (e.je_ts -. t0)))
+      :: ("dom", Obs_json.Int tid)
+      :: e.je_fields)
+
+  let finish () =
+    clear_bit journal_bit;
+    let opened, bs =
+      locked (fun () ->
+          let r = (!meta, !bufs) in
+          meta := None;
+          bufs := [];
+          r)
+    in
+    Atomic.incr generation;
+    match opened with
+    | None -> { buffers = 0; recorded = 0; dropped = 0 }
+    | Some (path, cmd, t0) ->
+      let events =
+        List.concat_map
+          (fun b -> List.init b.b_len (fun i -> (b.b_tid, b.b_events.(i))))
+          bs
+        |> List.sort (fun (_, a) (_, b) -> Int.compare a.je_seq b.je_seq)
+      in
+      let dropped = List.fold_left (fun acc b -> acc + b.b_dropped) 0 bs in
+      let summary =
+        { buffers = List.length bs; recorded = List.length events; dropped }
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let line v =
+            output_string oc (Obs_json.to_string v);
+            output_char oc '\n'
+          in
+          line
+            (Obs_json.Obj
+               [
+                 ("ev", Obs_json.String "journal_begin");
+                 ("journal_version", Obs_json.Int version);
+                 ("tool", Obs_json.String "sft");
+                 ("cmd", Obs_json.String cmd);
+                 ("ts", Obs_json.Float t0);
+               ]);
+          List.iter (fun (tid, e) -> line (event_json ~t0 tid e)) events;
+          line
+            (Obs_json.Obj
+               [
+                 ("ev", Obs_json.String "journal_end");
+                 ("events", Obs_json.Int summary.recorded);
+                 ("dropped", Obs_json.Int dropped);
+                 ("wall_s", Obs_json.Float (max 0. (now () -. t0)));
+                 ( "counters",
+                   Obs_json.Obj
+                     (List.rev_map
+                        (fun c -> (c.c_name, Obs_json.Int (Atomic.get c.c_v)))
+                        !counters_order) );
+               ]));
+      summary
+end
+
 (* --- spans --------------------------------------------------------------- *)
 
 type node = {
@@ -385,6 +560,141 @@ let root = fresh_node ""
 (* Per-domain stack of open spans; a worker domain starts at the root. *)
 let stack_key : node list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
+(* --- runtime sampler ------------------------------------------------------ *)
+
+(* Low-rate process-health sampler: GC deltas ([Gc.quick_stat] is
+   domain-local in OCaml 5, so only the main domain samples), peak RSS from
+   /proc, and per-domain pool busy counters. Each sample moves the
+   [runtime.*] counters and, when a journal is open, appends a
+   [runtime_sample] event; [maybe_sample] rate-limits so it can sit on hot
+   exits (span close, pool fan-out drain) without measurable cost. *)
+
+module Runtime = struct
+  let samples_c = Counter.make "runtime.samples"
+  let minor_c = Counter.make "runtime.minor_words"
+  let major_c = Counter.make "runtime.major_words"
+  let compactions_c = Counter.make "runtime.compactions"
+  let maxrss_c = Counter.make "runtime.maxrss_kb"
+
+  type sampler = {
+    mutable s_init : bool;
+    mutable s_last : float; (* [now ()] of the previous sample *)
+    mutable s_minor : float; (* cumulative Gc words at the previous sample *)
+    mutable s_major : float;
+    mutable s_compactions : int;
+    mutable s_count : int;
+  }
+
+  let sampler =
+    { s_init = false; s_last = 0.; s_minor = 0.; s_major = 0.; s_compactions = 0; s_count = 0 }
+
+  let interval_cell = Atomic.make 0.25
+  let set_interval s = Atomic.set interval_cell (max 0.01 s)
+
+  (* Peak resident set (kB) from /proc/self/status VmHWM; 0 where absent. *)
+  let maxrss_kb () =
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> 0
+    | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+            let rest = String.sub line 6 (String.length line - 6) in
+            int_of_float
+              (try Scanf.sscanf rest " %d" (fun n -> float_of_int n) with _ -> 0.)
+          else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+  (* Busy-time snapshot of the pool's per-domain counters (every counter
+     named pool.domainN...), reported inside journal samples so a report can
+     plot utilisation. *)
+  let busy_fields () =
+    let cs = locked (fun () -> !counters_order) in
+    List.filter_map
+      (fun c ->
+        if String.length c.c_name > 11 && String.sub c.c_name 0 11 = "pool.domain" then
+          Some (c.c_name, Obs_json.Int (Atomic.get c.c_v))
+        else None)
+      (List.rev cs)
+
+  let sample_locked () =
+    let q = Gc.quick_stat () in
+    let t = now () in
+    if not sampler.s_init then begin
+      sampler.s_init <- true;
+      sampler.s_minor <- q.Gc.minor_words;
+      sampler.s_major <- q.Gc.major_words;
+      sampler.s_compactions <- q.Gc.compactions
+    end;
+    let dminor = max 0. (q.Gc.minor_words -. sampler.s_minor) in
+    let dmajor = max 0. (q.Gc.major_words -. sampler.s_major) in
+    let dcompact = max 0 (q.Gc.compactions - sampler.s_compactions) in
+    sampler.s_minor <- q.Gc.minor_words;
+    sampler.s_major <- q.Gc.major_words;
+    sampler.s_compactions <- q.Gc.compactions;
+    sampler.s_last <- t;
+    sampler.s_count <- sampler.s_count + 1;
+    let rss = maxrss_kb () in
+    (* Counters are monotonic: keep maxrss at its peak by adding the
+       difference rather than overwriting. *)
+    let prev_rss = Counter.value maxrss_c in
+    (dminor, dmajor, dcompact, q.Gc.heap_words, rss, max 0 (rss - prev_rss))
+
+  let sample () =
+    if Atomic.get state land (metrics_bit lor journal_bit) <> 0
+       && Domain.is_main_domain ()
+    then begin
+      let span =
+        match !(Domain.DLS.get stack_key) with n :: _ -> n.s_name | [] -> ""
+      in
+      let dminor, dmajor, dcompact, heap_words, rss, drss =
+        locked sample_locked
+      in
+      Counter.incr samples_c;
+      Counter.add minor_c (int_of_float dminor);
+      Counter.add major_c (int_of_float dmajor);
+      Counter.add compactions_c dcompact;
+      Counter.add maxrss_c drss;
+      if Atomic.get state land journal_bit <> 0 then
+        Journal.emit "runtime_sample"
+          [
+            ("span", Obs_json.String span);
+            ("minor_words_d", Obs_json.Float dminor);
+            ("major_words_d", Obs_json.Float dmajor);
+            ("compactions_d", Obs_json.Int dcompact);
+            ("heap_words", Obs_json.Int heap_words);
+            ("maxrss_kb", Obs_json.Int rss);
+            ("busy_us", Obs_json.Obj (busy_fields ()));
+          ]
+    end
+
+  let maybe_sample () =
+    if Atomic.get state land (metrics_bit lor journal_bit) <> 0
+       && Domain.is_main_domain ()
+    then begin
+      let due =
+        locked (fun () ->
+            now () -. sampler.s_last >= Atomic.get interval_cell
+            || not sampler.s_init)
+      in
+      if due then sample ()
+    end
+
+  let samples () = locked (fun () -> sampler.s_count)
+
+  let reset () =
+    locked (fun () ->
+        sampler.s_init <- false;
+        sampler.s_last <- 0.;
+        sampler.s_minor <- 0.;
+        sampler.s_major <- 0.;
+        sampler.s_compactions <- 0;
+        sampler.s_count <- 0)
+end
+
 module Span = struct
   let with_ name f =
     let s = Atomic.get state in
@@ -392,6 +702,7 @@ module Span = struct
     else begin
       let metrics = s land metrics_bit <> 0 in
       let tracing = s land trace_bit <> 0 in
+      let journaling = s land journal_bit <> 0 in
       let node =
         if not metrics then None
         else begin
@@ -418,6 +729,11 @@ module Span = struct
           (* Wall time can step backwards: never account a negative span. *)
           let dt = max 0. (now () -. t0) in
           if tracing then Trace.emit_end ~cat:"span" name;
+          if journaling then begin
+            Journal.emit "span"
+              [ ("name", Obs_json.String name); ("dur_s", Obs_json.Float dt) ];
+            Runtime.maybe_sample ()
+          end;
           match node with
           | None -> ()
           | Some node ->
@@ -461,7 +777,9 @@ let reset () =
       root.s_kid_order <- [];
       root.s_calls <- 0;
       root.s_wall <- 0.);
-  Trace.reset ()
+  Trace.reset ();
+  Journal.reset ();
+  Runtime.reset ()
 
 (* --- exporters ----------------------------------------------------------- *)
 

@@ -1,18 +1,28 @@
-(** Observability: counters, histograms, hierarchical span timers and
-    bounded event tracing.
+(** Observability: counters, histograms, hierarchical span timers, bounded
+    event tracing and a structured decision journal.
 
     A process-wide registry of named probes with text and JSON exporters.
     Everything is safe to use from {!Domain} pool workers: counter and
     histogram updates are single atomic operations, span bookkeeping takes a
     mutex only on span entry/exit (never inside the timed region), and trace
-    events go to a private per-domain buffer with no locking at all.
+    and journal events go to a private per-domain buffer with no locking at
+    all.
 
     {b Disabled is free.} The whole subsystem sits behind one global state
-    word with two independent bits — metrics ({!enable}) and event tracing
-    ({!Trace.enable}) — off by default. A disabled probe is a single atomic
-    load and a predictable branch — a few nanoseconds — so probes may sit in
-    hot loops. Probes never influence the computation they observe: enabling
-    or disabling observability cannot change any result bit.
+    word with three independent bits — metrics ({!enable}), event tracing
+    ({!Trace.enable}) and the decision journal ({!Journal.start}) — off by
+    default. A disabled probe is a single atomic load and a predictable
+    branch — a few nanoseconds — so probes may sit in hot loops. Probes
+    never influence the computation they observe: enabling or disabling
+    observability cannot change any result bit.
+
+    {b Reset vs. journal.} {!reset} clears {e recorded data} — counters,
+    histograms, the span tree, trace buffers, buffered journal events and
+    the runtime sampler's baselines — but does not close an open journal:
+    the destination file and producing command set by {!Journal.start}
+    survive, and only {!Journal.finish} writes the file. A [reset] between
+    [start] and [finish] therefore yields a journal that covers just the
+    post-reset window.
 
     {b Clock caveat.} All timing uses {!now}, which is wall-clock time
     ([Unix.gettimeofday]) — the container has no monotonic-clock dependency.
@@ -29,13 +39,21 @@
     [_us] hold microseconds. *)
 
 val enabled : unit -> bool
+(** Whether the metrics bit (counters, histograms, span tree) is on. *)
+
 val enable : unit -> unit
+(** Switch metrics collection on. Independent of {!Trace.enable} and
+    {!Journal.start}. *)
+
 val disable : unit -> unit
+(** Switch metrics collection off. Recorded data is kept (see {!reset}). *)
 
 val reset : unit -> unit
-(** Zero every counter and histogram, drop the recorded span tree and
-    discard all trace buffers. Registered probe definitions survive (names
-    stay in the registry). *)
+(** Zero every counter and histogram, drop the recorded span tree, discard
+    all trace and journal buffers and re-arm the runtime sampler's GC/RSS
+    baselines ({!Runtime.reset}). Registered probe definitions survive
+    (names stay in the registry), and an open journal stays open — see the
+    header note on reset vs. journal. *)
 
 val now : unit -> float
 (** Wall-clock seconds — the single clock behind span timing, trace events
@@ -51,9 +69,17 @@ module Counter : sig
       counter. Typically called once at module initialisation. *)
 
   val incr : t -> unit
+  (** Add one. A single atomic increment when metrics are on; a single
+      atomic load when off. *)
+
   val add : t -> int -> unit
+  (** Add [n] (callers pass [n >= 0]; counters are monotonic). *)
+
   val value : t -> int
+  (** Current value. Reads are always live, even with metrics off. *)
+
   val name : t -> string
+  (** The registered probe name, e.g. ["fsim.patterns"]. *)
 end
 
 module Histogram : sig
@@ -65,8 +91,14 @@ module Histogram : sig
       [2{^i-1} <= v < 2{^i}]. *)
 
   val observe : t -> int -> unit
+  (** Record one observation (bucketed by power of two; also tracks count,
+      sum, min and max). One atomic load when metrics are off. *)
+
   val count : t -> int
+  (** Number of observations recorded. *)
+
   val sum : t -> int
+  (** Sum of all observed values. *)
 end
 
 module Trace : sig
@@ -87,6 +119,7 @@ module Trace : sig
       overflow. *)
 
   val enabled : unit -> bool
+  (** Whether the tracing bit is on. *)
 
   val enable : unit -> unit
   (** Switch event collection on. Tracing is independent of the metrics
@@ -94,6 +127,7 @@ module Trace : sig
       the aggregate span tree whenever metrics are on. *)
 
   val disable : unit -> unit
+  (** Switch event collection off. Buffered events are kept for export. *)
 
   val set_capacity : int -> unit
   (** Per-domain buffer capacity in events (default 65536, clamped to
@@ -101,6 +135,7 @@ module Trace : sig
       {!enable} (or after {!reset}) from the orchestrating domain. *)
 
   val capacity : unit -> int
+  (** The capacity newly created per-domain buffers will get. *)
 
   val instant : ?cat:string -> string -> unit
   (** Record an [i] (instant) event on the calling domain's timeline.
@@ -135,10 +170,116 @@ module Trace : sig
       buffers are read without synchronisation. *)
 
   val to_json : unit -> string
+  (** {!to_json_value} rendered compactly on one line. *)
 
   val write_file : string -> unit
   (** Write {!to_json} (plus a trailing newline) to a file — the CLI's
       [--trace-out FILE]. *)
+end
+
+module Journal : sig
+  (** Append-only structured decision journal (DESIGN.md §16).
+
+      Records {e typed decision events} — splice accepts and rollbacks,
+      identification verdicts with their cache source, PODEM aborts and SAT
+      escalation outcomes, redundancy proofs, CEC verdicts, span closes,
+      runtime samples — so a finished run can be analysed offline with
+      [sft report]. Same buffering contract as {!Trace}: each domain
+      appends to a private bounded buffer (no locks on the emit path; a
+      full buffer counts drops instead of blocking or growing), and
+      {!finish} — the single writer — merges every buffer in global
+      sequence order and streams the run out as JSONL.
+
+      {b File format} (one compact {!Obs_json} object per line):
+      a [journal_begin] header carrying [journal_version], the producing
+      command and the absolute open timestamp; then one line per event with
+      [ev] (the kind), [seq] (global emission order across domains), [ts]
+      (seconds since the header timestamp, clamped [>= 0]), [dom] (emitting
+      domain id) and the event's own fields; then a [journal_end] footer
+      with event/drop totals, wall seconds and a snapshot of every
+      registered counter. *)
+
+  val enabled : unit -> bool
+  (** Whether the journal bit is on ({!start} called, {!finish} not yet).
+      Call sites building non-trivial field lists should gate on this so a
+      disabled probe stays one atomic load. *)
+
+  val start : ?capacity:int -> cmd:string -> string -> unit
+  (** [start ~cmd path] opens a journal destined for [path], tagging the
+      header with the producing command [cmd] (e.g. ["optimize"]). Drops
+      any events buffered since the previous journal and resets the global
+      sequence counter. [capacity] overrides the per-domain buffer capacity
+      (default 65536, clamped to [>= 16]) for buffers created afterwards.
+      Nothing is written until {!finish}. *)
+
+  val emit : string -> (string * Obs_json.t) list -> unit
+  (** [emit kind fields] appends one event to the calling domain's buffer,
+      stamping it with the next global sequence id and the current {!now}.
+      No-op (one atomic load) when the journal is off; never blocks. *)
+
+  val set_capacity : int -> unit
+  (** Per-domain buffer capacity in events (default 65536, clamped to
+      [>= 16]); the sticky form of {!start}'s [capacity]. Affects buffers
+      created afterwards. *)
+
+  val capacity : unit -> int
+  (** The capacity newly created per-domain buffers will get. *)
+
+  type summary = { buffers : int; recorded : int; dropped : int }
+
+  val stats : unit -> summary
+  (** Buffer totals for the currently buffered (unwritten) events.
+      [dropped > 0] means per-domain capacity was too small for the run. *)
+
+  val finish : unit -> summary
+  (** Close the journal: switch the bit off, merge all buffers in sequence
+      order, write the JSONL file (header, events, footer) and return what
+      was written. Returns zeros without touching the filesystem if no
+      journal was open. Call after parallel work has quiesced, as with
+      {!Trace.to_json_value}. *)
+
+  val reset : unit -> unit
+  (** Discard buffered events (the open journal, if any, stays open). Also
+      performed by {!Obs.reset}. *)
+end
+
+module Runtime : sig
+  (** Low-rate process-health sampler: GC churn, peak RSS and pool busy
+      time.
+
+      Each sample reads [Gc.quick_stat] {e on the main domain only} (GC
+      statistics are domain-local in OCaml 5), computes deltas against the
+      previous sample, and publishes them twice: as monotonic [runtime.*]
+      counters in the metrics export ([runtime.samples], [runtime.minor_words],
+      [runtime.major_words], [runtime.compactions], [runtime.maxrss_kb] —
+      the latter kept at the peak by adding differences) and, when a
+      journal is open, as a [runtime_sample] journal event additionally
+      carrying the innermost open span, the live heap size and a snapshot
+      of the per-domain [pool.domainN.*] busy counters. Peak RSS comes from
+      [/proc/self/status] ([VmHWM]), reported as 0 where unavailable. *)
+
+  val sample : unit -> unit
+  (** Take one sample now (main domain, metrics or journal on; otherwise a
+      no-op). Call at run boundaries to anchor the baselines / flush the
+      final deltas. *)
+
+  val maybe_sample : unit -> unit
+  (** Rate-limited {!sample}: does nothing unless the configured interval
+      has elapsed since the previous sample. Cheap enough for hot exits —
+      one atomic load when both metrics and journal are off, and
+      {!Span.with_} calls it on every span close while journaling. *)
+
+  val set_interval : float -> unit
+  (** Minimum seconds between {!maybe_sample} samples (default 0.25,
+      clamped to [>= 0.01]). *)
+
+  val samples : unit -> int
+  (** Samples taken since the last {!reset}. *)
+
+  val reset : unit -> unit
+  (** Forget the sampler's baselines and sample count, so the next sample
+      re-anchors against current GC/RSS readings instead of reporting a
+      cross-reset delta. Also performed by {!Obs.reset}. *)
 end
 
 module Span : sig

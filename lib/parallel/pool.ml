@@ -217,6 +217,11 @@ let for_chunks t ?chunk ?(serial_below = 0) ~n body =
       Mutex.lock t.m;
       t.job <- None;
       Mutex.unlock t.m;
+      (* The fan-out has drained and the orchestrating domain is about to
+         return to serial work: a natural, low-rate spot to sample process
+         health (GC deltas, RSS, per-domain busy time). One atomic load
+         when neither metrics nor a journal is active. *)
+      Obs.Runtime.maybe_sample ();
       match j.error with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()

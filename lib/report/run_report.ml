@@ -1,0 +1,448 @@
+type funnel = {
+  candidates : int;
+  identified : int;
+  verified : int;
+  committed : int;
+}
+
+type phase = { ph_name : string; ph_calls : int; ph_wall : float }
+
+type t = {
+  path : string;
+  cmd : string;
+  events : int;
+  dropped : int;
+  truncated : bool;
+  wall_s : float;
+  counters : (string * int) list; (* footer snapshot; [] when truncated *)
+  spans : (string, int * float) Hashtbl.t;
+  (* Tallies keyed by a qualified label, e.g. "identify/fresh",
+     "sat_escalation/redundant", "cec_check/equivalent". *)
+  tallies : (string, int) Hashtbl.t;
+  accepts : int;
+  rollbacks : int;
+  gain : int; (* summed accepted gain *)
+  samples : int;
+  minor_words : float;
+  major_words : float;
+  compactions : int;
+  peak_rss_kb : int;
+}
+
+let supported_version = 1
+
+(* --- field access --------------------------------------------------------- *)
+
+let str_field k j =
+  match Obs_json.member k j with Some (Obs_json.String s) -> Some s | _ -> None
+
+let int_field k j =
+  match Obs_json.member k j with
+  | Some (Obs_json.Int i) -> Some i
+  | Some (Obs_json.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let float_field k j =
+  match Obs_json.member k j with
+  | Some (Obs_json.Float f) -> Some f
+  | Some (Obs_json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* --- loading -------------------------------------------------------------- *)
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        Ok (List.rev !lines))
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let tally t key = Option.value ~default:0 (Hashtbl.find_opt t.tallies key)
+
+let load path =
+  match read_lines path with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok [] -> Error (Printf.sprintf "%s: empty file" path)
+  | Ok (header :: rest) -> (
+    match Obs_json.parse header with
+    | Error _ -> Error (Printf.sprintf "%s: not a journal (bad header)" path)
+    | Ok h -> (
+      match (str_field "ev" h, int_field "journal_version" h) with
+      | Some "journal_begin", Some v when v = supported_version ->
+        let cmd = Option.value ~default:"?" (str_field "cmd" h) in
+        let run =
+          ref
+            {
+              path;
+              cmd;
+              events = 0;
+              dropped = 0;
+              truncated = true;
+              wall_s = 0.;
+              counters = [];
+              spans = Hashtbl.create 16;
+              tallies = Hashtbl.create 16;
+              accepts = 0;
+              rollbacks = 0;
+              gain = 0;
+              samples = 0;
+              minor_words = 0.;
+              major_words = 0.;
+              compactions = 0;
+              peak_rss_kb = 0;
+            }
+        in
+        let stop = ref false in
+        List.iter
+          (fun line ->
+            if not !stop then
+              match Obs_json.parse line with
+              | Error _ -> stop := true (* torn tail: keep what we have *)
+              | Ok j -> (
+                let r = !run in
+                match str_field "ev" j with
+                | None -> stop := true
+                | Some "journal_end" ->
+                  let counters =
+                    match Obs_json.member "counters" j with
+                    | Some (Obs_json.Obj kvs) ->
+                      List.filter_map
+                        (fun (k, v) ->
+                          match v with
+                          | Obs_json.Int n -> Some (k, n)
+                          | _ -> None)
+                        kvs
+                    | _ -> []
+                  in
+                  run :=
+                    {
+                      r with
+                      truncated = false;
+                      dropped = Option.value ~default:0 (int_field "dropped" j);
+                      wall_s = Option.value ~default:r.wall_s (float_field "wall_s" j);
+                      counters;
+                    };
+                  stop := true
+                | Some kind ->
+                  let r = { r with events = r.events + 1 } in
+                  (* Truncated runs have no footer: keep the high-water
+                     timestamp as a wall-time stand-in. *)
+                  let r =
+                    match float_field "ts" j with
+                    | Some ts when ts > r.wall_s -> { r with wall_s = ts }
+                    | _ -> r
+                  in
+                  let r =
+                    match kind with
+                    | "span" ->
+                      let name = Option.value ~default:"?" (str_field "name" j) in
+                      let dur = Option.value ~default:0. (float_field "dur_s" j) in
+                      let calls, wall =
+                        Option.value ~default:(0, 0.)
+                          (Hashtbl.find_opt r.spans name)
+                      in
+                      Hashtbl.replace r.spans name (calls + 1, wall +. dur);
+                      r
+                    | "runtime_sample" ->
+                      {
+                        r with
+                        samples = r.samples + 1;
+                        minor_words =
+                          r.minor_words
+                          +. Option.value ~default:0. (float_field "minor_words_d" j);
+                        major_words =
+                          r.major_words
+                          +. Option.value ~default:0. (float_field "major_words_d" j);
+                        compactions =
+                          r.compactions
+                          + Option.value ~default:0 (int_field "compactions_d" j);
+                        peak_rss_kb =
+                          max r.peak_rss_kb
+                            (Option.value ~default:0 (int_field "maxrss_kb" j));
+                      }
+                    | "splice_accept" ->
+                      {
+                        r with
+                        accepts = r.accepts + 1;
+                        gain = r.gain + Option.value ~default:0 (int_field "gain" j);
+                      }
+                    | "splice_rollback" -> { r with rollbacks = r.rollbacks + 1 }
+                    | "identify" ->
+                      let src = Option.value ~default:"?" (str_field "src" j) in
+                      bump r.tallies ("identify/" ^ src) 1;
+                      (match Obs_json.member "verdict" j with
+                      | Some (Obs_json.Bool true) ->
+                        bump r.tallies ("identify_pos/" ^ src) 1
+                      | _ -> ());
+                      r
+                    | "sat_escalation" ->
+                      let o = Option.value ~default:"?" (str_field "outcome" j) in
+                      bump r.tallies ("sat_escalation/" ^ o) 1;
+                      r
+                    | "cec_check" ->
+                      let v = Option.value ~default:"?" (str_field "verdict" j) in
+                      bump r.tallies ("cec_check/" ^ v) 1;
+                      r
+                    | "redundancy_proof" ->
+                      let m = Option.value ~default:"?" (str_field "method" j) in
+                      bump r.tallies ("redundancy_proof/" ^ m) 1;
+                      r
+                    | kind ->
+                      (* podem_abort, commit_flush, cec_unknown, and any
+                         event kind a newer writer may add. *)
+                      bump r.tallies kind 1;
+                      r
+                  in
+                  run := r))
+          rest;
+        Ok !run
+      | Some "journal_begin", Some v ->
+        Error (Printf.sprintf "%s: unsupported journal_version %d" path v)
+      | _ -> Error (Printf.sprintf "%s: not a journal (no journal_begin)" path)))
+
+(* --- accessors ------------------------------------------------------------ *)
+
+let path t = t.path
+let cmd t = t.cmd
+let events t = t.events
+let dropped t = t.dropped
+let truncated t = t.truncated
+let wall_s t = t.wall_s
+
+let counter t name =
+  Option.value ~default:0 (List.assoc_opt name t.counters)
+
+let funnel t =
+  {
+    candidates = counter t "engine.candidates";
+    identified = counter t "engine.realised";
+    verified = t.accepts + t.rollbacks;
+    committed = t.accepts;
+  }
+
+let funnel_ok t =
+  let f = funnel t in
+  f.committed <= f.verified
+  && (t.truncated
+     || (f.verified <= f.identified && f.identified <= f.candidates))
+
+let phases t =
+  Hashtbl.fold
+    (fun name (calls, wall) acc ->
+      { ph_name = name; ph_calls = calls; ph_wall = wall } :: acc)
+    t.spans []
+  |> List.sort (fun a b ->
+         match Float.compare b.ph_wall a.ph_wall with
+         | 0 -> String.compare a.ph_name b.ph_name
+         | c -> c)
+
+(* --- text rendering ------------------------------------------------------- *)
+
+let pct part total = if total <= 0. then 0. else 100. *. part /. total
+
+let render t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "== run report: %s ==\ncmd %s   events %s   dropped %s   wall %.3fs%s\n"
+       t.path t.cmd (Table.int t.events) (Table.int t.dropped) t.wall_s
+       (if t.truncated then "   [TRUNCATED: no footer]" else ""));
+  (match phases t with
+  | [] -> ()
+  | ps ->
+    let tbl =
+      Table.create ~title:"phases (span closes)"
+        ~columns:[ "phase"; "calls"; "wall s"; "% wall" ]
+    in
+    List.iter
+      (fun p ->
+        Table.add_row tbl
+          [
+            p.ph_name;
+            Table.int p.ph_calls;
+            Printf.sprintf "%.4f" p.ph_wall;
+            Printf.sprintf "%.1f" (pct p.ph_wall t.wall_s);
+          ])
+      ps;
+    Buffer.add_string b (Table.render tbl));
+  if t.samples > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "runtime: %d samples, %.3g minor words, %.3g major words, %d compactions, peak rss %s kB\n"
+         t.samples t.minor_words t.major_words t.compactions
+         (Table.int t.peak_rss_kb));
+  let f = funnel t in
+  if f.candidates + f.identified + f.verified + f.committed > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "funnel: %s candidates -> %s identified -> %s verified -> %s committed (gain %s)%s\n"
+         (Table.int f.candidates) (Table.int f.identified)
+         (Table.int f.verified) (Table.int f.committed) (Table.int t.gain)
+         (if funnel_ok t then "" else "   [FUNNEL VIOLATION]"));
+  let tally_table title prefix labels =
+    let rows =
+      List.filter_map
+        (fun l ->
+          let n = tally t (prefix ^ "/" ^ l) in
+          if n = 0 then None else Some (l, n))
+        labels
+    in
+    if rows <> [] then begin
+      let tbl = Table.create ~title ~columns:[ "kind"; "count" ] in
+      List.iter (fun (l, n) -> Table.add_row tbl [ l; Table.int n ]) rows;
+      Buffer.add_string b (Table.render tbl)
+    end
+  in
+  tally_table "identification sources" "identify"
+    [ "fresh"; "run_cache"; "idcache_raw"; "idcache_class" ];
+  tally_table "sat escalations" "sat_escalation" [ "test"; "redundant"; "unknown" ];
+  tally_table "redundancy proofs" "redundancy_proof" [ "podem"; "sat" ];
+  tally_table "cec checks" "cec_check" [ "equivalent"; "counterexample"; "unknown" ];
+  let misc =
+    List.filter_map
+      (fun k ->
+        let n = tally t k in
+        if n = 0 then None else Some (Printf.sprintf "%s %s" k (Table.int n)))
+      [ "podem_abort"; "commit_flush"; "cec_unknown" ]
+  in
+  if misc <> [] then
+    Buffer.add_string b (String.concat ", " misc ^ "\n");
+  Buffer.contents b
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let tallies_json t prefix labels =
+  Obs_json.Obj
+    (List.map (fun l -> (l, Obs_json.Int (tally t (prefix ^ "/" ^ l)))) labels)
+
+let run_json t =
+  let f = funnel t in
+  Obs_json.Obj
+    [
+      ("path", Obs_json.String t.path);
+      ("cmd", Obs_json.String t.cmd);
+      ("events", Obs_json.Int t.events);
+      ("dropped", Obs_json.Int t.dropped);
+      ("truncated", Obs_json.Bool t.truncated);
+      ("wall_s", Obs_json.Float t.wall_s);
+      ( "funnel",
+        Obs_json.Obj
+          [
+            ("candidates", Obs_json.Int f.candidates);
+            ("identified", Obs_json.Int f.identified);
+            ("verified", Obs_json.Int f.verified);
+            ("committed", Obs_json.Int f.committed);
+            ("gain", Obs_json.Int t.gain);
+            ("funnel_ok", Obs_json.Bool (funnel_ok t));
+          ] );
+      ( "phases",
+        Obs_json.List
+          (List.map
+             (fun p ->
+               Obs_json.Obj
+                 [
+                   ("name", Obs_json.String p.ph_name);
+                   ("calls", Obs_json.Int p.ph_calls);
+                   ("wall_s", Obs_json.Float p.ph_wall);
+                 ])
+             (phases t)) );
+      ( "runtime",
+        Obs_json.Obj
+          [
+            ("samples", Obs_json.Int t.samples);
+            ("minor_words", Obs_json.Float t.minor_words);
+            ("major_words", Obs_json.Float t.major_words);
+            ("compactions", Obs_json.Int t.compactions);
+            ("peak_rss_kb", Obs_json.Int t.peak_rss_kb);
+          ] );
+      ( "identify",
+        tallies_json t "identify"
+          [ "fresh"; "run_cache"; "idcache_raw"; "idcache_class" ] );
+      ( "sat_escalations",
+        tallies_json t "sat_escalation" [ "test"; "redundant"; "unknown" ] );
+      ("redundancy_proofs", tallies_json t "redundancy_proof" [ "podem"; "sat" ]);
+      ( "cec_checks",
+        tallies_json t "cec_check" [ "equivalent"; "counterexample"; "unknown" ]
+      );
+      ("podem_aborts", Obs_json.Int (tally t "podem_abort"));
+      ("commit_flushes", Obs_json.Int (tally t "commit_flush"));
+    ]
+
+let to_json_value runs =
+  Obs_json.Obj
+    [
+      ("report_version", Obs_json.Int 1);
+      ("funnel_ok", Obs_json.Bool (List.for_all funnel_ok runs));
+      ("runs", Obs_json.List (List.map run_json runs));
+    ]
+
+(* --- diff ----------------------------------------------------------------- *)
+
+let diff a b =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== report diff: %s (A) vs %s (B) ==\n" a.path b.path);
+  let tbl =
+    Table.create ~title:"run comparison" ~columns:[ "metric"; "A"; "B"; "delta" ]
+  in
+  let delta av bv =
+    if av = 0. then if bv = 0. then "-" else "new"
+    else Printf.sprintf "%+.1f%%" (100. *. (bv -. av) /. av)
+  in
+  let frow name av bv fmt =
+    Table.add_row tbl [ name; fmt av; fmt bv; delta av bv ]
+  in
+  let irow name av bv =
+    frow name (float_of_int av) (float_of_int bv) (fun v ->
+        Table.int (int_of_float v))
+  in
+  frow "wall_s" a.wall_s b.wall_s (Printf.sprintf "%.4f");
+  irow "events" a.events b.events;
+  irow "dropped" a.dropped b.dropped;
+  let fa = funnel a and fb = funnel b in
+  irow "candidates" fa.candidates fb.candidates;
+  irow "identified" fa.identified fb.identified;
+  irow "verified" fa.verified fb.verified;
+  irow "committed" fa.committed fb.committed;
+  irow "gain" a.gain b.gain;
+  frow "minor_words" a.minor_words b.minor_words (Printf.sprintf "%.3g");
+  frow "major_words" a.major_words b.major_words (Printf.sprintf "%.3g");
+  irow "peak_rss_kb" a.peak_rss_kb b.peak_rss_kb;
+  Buffer.add_string buf (Table.render tbl);
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun p -> p.ph_name) (phases a)
+      @ List.map (fun p -> p.ph_name) (phases b))
+  in
+  if names <> [] then begin
+    let ptbl =
+      Table.create ~title:"phase wall s"
+        ~columns:[ "phase"; "A"; "B"; "delta" ]
+    in
+    List.iter
+      (fun name ->
+        let wall t =
+          match Hashtbl.find_opt t.spans name with Some (_, w) -> w | None -> 0.
+        in
+        let av = wall a and bv = wall b in
+        Table.add_row ptbl
+          [
+            name;
+            Printf.sprintf "%.4f" av;
+            Printf.sprintf "%.4f" bv;
+            delta av bv;
+          ])
+      names;
+    Buffer.add_string buf (Table.render ptbl)
+  end;
+  Buffer.contents buf

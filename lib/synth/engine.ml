@@ -453,18 +453,40 @@ let run_pass ?pool ?cache objective opts vstate st c =
           (* Budget exhausted is not evidence of unsoundness: the local
              checks already passed, so the replacement stands. *)
           Obs.Counter.incr verify_unknown_c;
+          if Obs.Journal.enabled () then
+            Obs.Journal.emit "cec_unknown"
+              [
+                ("root", Obs_json.Int p.p_root); ("idx", Obs_json.Int p.p_idx);
+              ];
           true
         | Cec.Counterexample _ ->
           Circuit.overwrite c ~with_:before;
           vstate.refused <- vstate.refused + 1;
           Obs.Counter.incr verify_refused_c;
           Obs.Trace.instant ~cat:"engine" "engine.verify_refused";
+          if Obs.Journal.enabled () then
+            Obs.Journal.emit "splice_rollback"
+              [
+                ("root", Obs_json.Int p.p_root);
+                ("idx", Obs_json.Int p.p_idx);
+                ("reason", Obs_json.String "cec_counterexample");
+              ];
           false)
     in
     if sound then begin
       incr replacements;
       Obs.Counter.incr accepted_c;
       Obs.Trace.instant ~cat:"engine" "engine.accepted";
+      if Obs.Journal.enabled () then
+        Obs.Journal.emit "splice_accept"
+          [
+            ("root", Obs_json.Int p.p_root);
+            ("idx", Obs_json.Int p.p_idx);
+            ("gain", Obs_json.Int cand.gain);
+            ("new_paths", Obs_json.Int cand.new_paths);
+            ("cut", Obs_json.Int (Array.length cand.sub.Subcircuit.inputs));
+            ("exact", Obs_json.Bool cand.exact);
+          ];
       if incremental then begin
         mark_fresh since;
         Option.iter mark_swept_boundary pre_fanins
@@ -486,6 +508,8 @@ let run_pass ?pool ?cache objective opts vstate st c =
       pending_dirty := Footprint.create (Circuit.size c);
       Obs.Span.with_ "engine.commit_flush" (fun () ->
           let m = Array.length ps in
+          if Obs.Journal.enabled () then
+            Obs.Journal.emit "commit_flush" [ ("batch", Obs_json.Int m) ];
           let pre_verified =
             match pool with
             | Some pool when m > 1 && opts.verify_local ->

@@ -16,7 +16,11 @@
 # warm hit rate at least the cold one — DESIGN.md §15); and the
 # `sat_atpg` section's `escalation_ok` asserts that no PODEM-aborted
 # fault stays undecided after SAT escalation (DESIGN.md §14), which is a
-# determinism property, not a timing one.
+# determinism property, not a timing one; and the `journal` section's
+# `gate_ok` asserts the decision journal's never-perturb contract
+# (journaled run bit-identical to plain, funnel invariant holds, no
+# dropped events — DESIGN.md §16). The journal contract is additionally
+# exercised through the CLI below.
 #
 # Usage: scripts/check_regression.sh [BASELINE]
 # Exit:  0 no regression, 1 regression, 2 incomparable snapshots.
@@ -46,9 +50,9 @@ dune build bin/sft_cli.exe bench/main.exe
 tmp=$(mktemp -t bench-smoke.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT INT TERM
 
-echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental,idcache,sat_atpg)..."
+echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental,idcache,sat_atpg,journal)..."
 dune exec --no-build bench/main.exe -- \
-    --quick --only micro,kernels,incremental,idcache,sat_atpg --domains 2 --json "$tmp" > /dev/null
+    --quick --only micro,kernels,incremental,idcache,sat_atpg,journal --domains 2 --json "$tmp" > /dev/null
 
 # Incremental-resynthesis and idcache gates: dirty-region tracking must
 # reproduce the full re-enumeration path bit-for-bit and not be slower
@@ -56,11 +60,11 @@ dune exec --no-build bench/main.exe -- \
 # circuits off/cold/warm with warm-start disk hits and an NPN layer that
 # pays for itself.
 if grep -q '"identical_results": false' "$tmp"; then
-    echo "check_regression: a bit-identity section diverged (incremental or idcache)" >&2
+    echo "check_regression: a bit-identity section diverged (incremental, idcache or journal)" >&2
     exit 1
 fi
 if grep -q '"gate_ok": false' "$tmp"; then
-    echo "check_regression: a section gate failed (incremental speedup/skip or idcache warm-start/NPN/hit-rate)" >&2
+    echo "check_regression: a section gate failed (incremental speedup/skip, idcache warm-start/NPN/hit-rate, or journal funnel/drops)" >&2
     exit 1
 fi
 
@@ -68,6 +72,28 @@ fi
 # redundancy proved) by the exact escalation pass.
 if grep -q '"escalation_ok": false' "$tmp"; then
     echo "check_regression: sat_atpg escalation left faults undecided" >&2
+    exit 1
+fi
+
+# CLI journal gate (DESIGN.md §16): a journaled multi-domain optimize run
+# must land the same netlist as a plain one, and `sft report` must accept
+# the journal (it exits 1 on a funnel violation) with funnel_ok in its
+# JSON document.
+echo "check_regression: CLI journal bit-identity and report funnel..."
+jdir=$(mktemp -d -t journal-gate.XXXXXX)
+trap 'rm -f "$tmp"; rm -rf "$jdir"' EXIT INT TERM
+dune exec --no-build bin/sft_cli.exe -- optimize test/metrics_smoke.bench \
+    --domains 2 -o "$jdir/plain.bench" > /dev/null
+dune exec --no-build bin/sft_cli.exe -- optimize test/metrics_smoke.bench \
+    --domains 2 --journal "$jdir/run.journal" -o "$jdir/journaled.bench" > /dev/null
+if ! cmp -s "$jdir/plain.bench" "$jdir/journaled.bench"; then
+    echo "check_regression: --journal perturbed the optimize result" >&2
+    exit 1
+fi
+dune exec --no-build bin/sft_cli.exe -- report "$jdir/run.journal" --json \
+    > "$jdir/report.json"
+if ! grep -q '"funnel_ok":true' "$jdir/report.json"; then
+    echo "check_regression: journal report funnel violated (committed <= verified <= identified <= candidates)" >&2
     exit 1
 fi
 

@@ -125,7 +125,9 @@ let check_markup file line body =
 
 (* Strict value coverage: every `val` line must have a doc comment ending on
    the previous (or same) line, or starting within the few lines below it —
-   the placements odoc attaches to the declaration. *)
+   the placements odoc attaches to the declaration. The window below the
+   `val` must span the longest multi-line signature in the strict set
+   (Pool.for_chunks is seven lines), hence 8. *)
 let check_val_coverage file s cs =
   let docs =
     List.filter_map
@@ -145,7 +147,7 @@ let check_val_coverage file s cs =
          if String.length t > 4 && String.sub t 0 4 = "val " then
            let attached =
              List.exists
-               (fun (ds, de) -> de = l - 1 || de = l || (ds >= l && ds <= l + 4))
+               (fun (ds, de) -> de = l - 1 || de = l || (ds >= l && ds <= l + 8))
                docs
            in
            if not attached then

@@ -300,6 +300,235 @@ let test_trace_overflow_stays_balanced () =
              events)
       | Ok _ -> Alcotest.fail "trace export is not an array")
 
+let test_trace_overflow_balanced_under_pool () =
+  (* The documented drop contract from multiple domains: tiny rings, pool
+     workers emitting concurrently — drops are counted and the exported
+     stream still has balanced B/E pairs on every tid. *)
+  with_trace (fun () ->
+      Obs.Trace.set_capacity 16;
+      Obs.Trace.reset ();
+      (* Chunks this small can all be drained by the submitting domain
+         before a worker wakes; block each chunk until two have started so
+         at least two domains (two rings) demonstrably participate. *)
+      let started = Atomic.make 0 in
+      Pool.with_pool ~domains:4 (fun pool ->
+          Pool.for_chunks pool ~chunk:5 ~n:400 (fun ~slot:_ ~lo ~hi ->
+              Atomic.incr started;
+              while Atomic.get started < 2 do
+                Domain.cpu_relax ()
+              done;
+              for _ = lo to hi - 1 do
+                Obs.Span.with_ "test.trace.pool_span" (fun () ->
+                    Obs.Trace.instant "test.trace.pool_tick")
+              done));
+      let s = Obs.Trace.stats () in
+      check bool_ "pool workers overflowed the rings" true
+        (s.Obs.Trace.dropped > 0);
+      check bool_ "multiple rings participated" true (s.Obs.Trace.rings > 1);
+      match Obs_json.parse (Obs.Trace.to_json ()) with
+      | Error msg -> Alcotest.failf "pool-overflow trace invalid: %s" msg
+      | Ok (Obs_json.List events) ->
+        check_balanced events;
+        check bool_ "dropped-events marker present" true
+          (List.exists
+             (fun ev ->
+               Obs_json.member "name" ev = Some (Obs_json.String "trace.dropped"))
+             events)
+      | Ok _ -> Alcotest.fail "trace export is not an array")
+
+(* --- journal -------------------------------------------------------------- *)
+
+let with_journal path f =
+  let cap0 = Obs.Journal.capacity () in
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Obs.Journal.finish ());
+      Obs.Journal.set_capacity cap0;
+      Obs.disable ();
+      Obs.reset ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Obs.Journal.start ~cmd:"test" path;
+      f ())
+
+let journal_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev_map
+    (fun l ->
+      match Obs_json.parse l with
+      | Ok j -> j
+      | Error msg -> Alcotest.failf "journal line unparseable: %s: %s" msg l)
+    !lines
+
+let test_journal_disabled_is_silent () =
+  Obs.reset ();
+  Obs.Journal.emit "test_noop" [];
+  let s = Obs.Journal.stats () in
+  check int_ "nothing buffered while disabled" 0 s.Obs.Journal.recorded;
+  check int_ "nothing dropped while disabled" 0 s.Obs.Journal.dropped;
+  check int_ "finish without start writes nothing" 0
+    (Obs.Journal.finish ()).Obs.Journal.recorded
+
+let test_journal_roundtrip_multidomain () =
+  let path = Filename.temp_file "sft_test" ".journal" in
+  with_journal path (fun () ->
+      (* Same rendezvous as the trace-overflow test: hold each chunk until
+         two have started, so the events provably land in more than one
+         domain-local buffer. *)
+      let started = Atomic.make 0 in
+      Pool.with_pool ~domains:4 (fun pool ->
+          Pool.for_chunks pool ~chunk:7 ~n:200 (fun ~slot ~lo ~hi ->
+              Atomic.incr started;
+              while Atomic.get started < 2 do
+                Domain.cpu_relax ()
+              done;
+              for i = lo to hi - 1 do
+                Obs.Journal.emit "test_event"
+                  [ ("i", Obs_json.Int i); ("slot", Obs_json.Int slot) ]
+              done));
+      (* The pool itself journals a [runtime_sample] after the fan-out
+         drains, so counts are lower bounds; payload checks below filter
+         to our own event kind. *)
+      let s = Obs.Journal.stats () in
+      check bool_ "every event buffered" true (s.Obs.Journal.recorded >= 200);
+      check bool_ "events spread across domain buffers" true
+        (s.Obs.Journal.buffers > 1);
+      let w = Obs.Journal.finish () in
+      check bool_ "finish reports all events" true (w.Obs.Journal.recorded >= 200);
+      check int_ "no drops" 0 w.Obs.Journal.dropped;
+      match journal_lines path with
+      | header :: rest ->
+        check bool_ "header is journal_begin" true
+          (Obs_json.member "ev" header
+          = Some (Obs_json.String "journal_begin"));
+        check bool_ "header carries version 1" true
+          (Obs_json.member "journal_version" header = Some (Obs_json.Int 1));
+        let events, footer =
+          match List.rev rest with
+          | f :: revd -> (List.rev revd, f)
+          | [] -> Alcotest.fail "no footer"
+        in
+        check bool_ "footer is journal_end" true
+          (Obs_json.member "ev" footer = Some (Obs_json.String "journal_end"));
+        check bool_ "footer embeds counters" true
+          (match Obs_json.member "counters" footer with
+          | Some (Obs_json.Obj _) -> true
+          | _ -> false);
+        check bool_ "one line per event" true (List.length events >= 200);
+        (* Global sequence ids give a total order across domains: the
+           merged stream must be strictly increasing, with timestamps
+           relative and clamped. *)
+        let last = ref (-1) in
+        let seen = Array.make 200 false in
+        List.iter
+          (fun ev ->
+            (match Obs_json.member "seq" ev with
+            | Some (Obs_json.Int s) ->
+              check bool_ "seq strictly increasing" true (s > !last);
+              last := s
+            | _ -> Alcotest.fail "event without seq");
+            (match Obs_json.member "ts" ev with
+            | Some (Obs_json.Float ts) ->
+              check bool_ "ts clamped to >= 0" true (ts >= 0.)
+            | _ -> Alcotest.fail "event without float ts");
+            (match Obs_json.member "dom" ev with
+            | Some (Obs_json.Int _) -> ()
+            | _ -> Alcotest.fail "event without dom");
+            if Obs_json.member "ev" ev = Some (Obs_json.String "test_event")
+            then
+              match Obs_json.member "i" ev with
+              | Some (Obs_json.Int i) -> seen.(i) <- true
+              | _ -> Alcotest.fail "test_event without payload field")
+          events;
+        check bool_ "every emitted payload present exactly once" true
+          (Array.for_all Fun.id seen)
+      | [] -> Alcotest.fail "empty journal file")
+
+let test_journal_overflow_drops_counted () =
+  let path = Filename.temp_file "sft_test" ".journal" in
+  with_journal path (fun () ->
+      ignore (Obs.Journal.finish ());
+      Obs.Journal.start ~capacity:16 ~cmd:"test" path;
+      for i = 1 to 100 do
+        Obs.Journal.emit "test_event" [ ("i", Obs_json.Int i) ]
+      done;
+      let s = Obs.Journal.stats () in
+      check bool_ "overflow drops are counted" true (s.Obs.Journal.dropped > 0);
+      check bool_ "recorded bounded by capacity" true
+        (s.Obs.Journal.recorded <= 16);
+      let w = Obs.Journal.finish () in
+      check bool_ "footer records the drops" true (w.Obs.Journal.dropped > 0);
+      match journal_lines path with
+      | _ :: rest ->
+        let footer = List.nth rest (List.length rest - 1) in
+        check bool_ "dropped field in footer positive" true
+          (match Obs_json.member "dropped" footer with
+          | Some (Obs_json.Int d) -> d > 0
+          | _ -> false)
+      | [] -> Alcotest.fail "empty journal file")
+
+let test_journal_survives_obs_reset () =
+  let path = Filename.temp_file "sft_test" ".journal" in
+  with_journal path (fun () ->
+      Obs.Journal.emit "test_before" [];
+      (* reset drops buffered events but keeps the journal open (obs.mli
+         header): events after the reset still land in the file. *)
+      Obs.reset ();
+      check int_ "reset drops buffered events" 0
+        (Obs.Journal.stats ()).Obs.Journal.recorded;
+      check bool_ "journal still enabled after reset" true
+        (Obs.Journal.enabled ());
+      Obs.Journal.emit "test_after" [];
+      ignore (Obs.Journal.finish ());
+      let kinds =
+        List.filter_map
+          (fun j ->
+            match Obs_json.member "ev" j with
+            | Some (Obs_json.String s) -> Some s
+            | _ -> None)
+          (journal_lines path)
+      in
+      check bool_ "pre-reset event dropped" true
+        (not (List.mem "test_before" kinds));
+      check bool_ "post-reset event written" true (List.mem "test_after" kinds))
+
+let test_runtime_sampler_and_reset () =
+  with_obs (fun () ->
+      Obs.Runtime.sample ();
+      Obs.Runtime.sample ();
+      check int_ "samples counted" 2 (Obs.Runtime.samples ());
+      let samples_c =
+        List.assoc "runtime.samples" (Obs.Export.counters ())
+      in
+      check int_ "runtime.samples counter moves" 2 samples_c;
+      (* Obs.reset must also zero the sampler state (not just counters). *)
+      Obs.reset ();
+      check int_ "reset zeroes the sampler" 0 (Obs.Runtime.samples ());
+      check int_ "reset zeroes runtime counters" 0
+        (List.assoc "runtime.samples" (Obs.Export.counters ())))
+
+let test_campaign_unchanged_by_journal () =
+  let c = mixed () in
+  let cfg = { Campaign.default with max_patterns = 2_048; domains = 2; seed = 9L } in
+  Obs.disable ();
+  Obs.reset ();
+  let plain = Campaign.exec cfg (Circuit.copy c) in
+  let path = Filename.temp_file "sft_test" ".journal" in
+  let journaled =
+    with_journal path (fun () ->
+        Obs.enable ();
+        Campaign.exec cfg (Circuit.copy c))
+  in
+  check bool_ "journaled campaign is bit-identical" true (plain = journaled)
+
 let test_campaign_unchanged_by_tracing () =
   let c = mixed () in
   let cfg = { Campaign.default with max_patterns = 2_048; domains = 2; seed = 9L } in
@@ -358,6 +587,17 @@ let suite =
     ("trace: disabled is silent", `Quick, test_trace_disabled_is_silent);
     ("trace: records and exports events", `Quick, test_trace_records_and_exports);
     ("trace: overflow stays balanced", `Quick, test_trace_overflow_stays_balanced);
+    ( "trace: pool overflow balanced per domain",
+      `Quick,
+      test_trace_overflow_balanced_under_pool );
+    ("journal: disabled is silent", `Quick, test_journal_disabled_is_silent);
+    ( "journal: multi-domain round-trip",
+      `Quick,
+      test_journal_roundtrip_multidomain );
+    ("journal: overflow drops counted", `Quick, test_journal_overflow_drops_counted);
+    ("journal: survives Obs.reset", `Quick, test_journal_survives_obs_reset);
+    ("runtime: sampler counts and resets", `Quick, test_runtime_sampler_and_reset);
     ("campaign: trace on = trace off", `Quick, test_campaign_unchanged_by_tracing);
     ("campaign: obs on = obs off", `Quick, test_campaign_unchanged_by_obs);
+    ("campaign: journal on = journal off", `Quick, test_campaign_unchanged_by_journal);
   ]
