@@ -49,7 +49,7 @@ let () =
     | "--full" :: rest ->
       quick := false;
       parse rest
-    | "--only" :: ids :: rest ->
+    | "--only" :: ids :: rest | "--only-sections" :: ids :: rest ->
       only := String.split_on_char ',' ids;
       parse rest
     | "--only-circuits" :: names :: rest ->
@@ -86,9 +86,10 @@ let () =
       (* A typo'd flag must not silently fall through to a full-scale run. *)
       Printf.eprintf
         "error: unknown argument %s\n\
-         usage: main.exe [--quick|--full] [--only IDS] \
+         usage: main.exe [--quick|--full] [--only-sections IDS] \
          [--only-circuits NAMES] [--json FILE] [--domains N] \
-         [--metrics text|json|FILE] [--trace] [--trace-out FILE]\n"
+         [--metrics text|json|FILE] [--trace] [--trace-out FILE]\n\
+         (--only is an alias of --only-sections)\n"
         other;
       exit 2
   in
@@ -155,6 +156,32 @@ type incr_row = {
   in_gate_ok : bool; (* identical && speedup >= 1 && fraction < 1 *)
 }
 
+(* Worklist walk + conflict-graph commit scheduler (DESIGN.md §17): pass-2
+   cost of the three engine generations on the same circuit — full
+   re-enumeration, scan-walk incremental (flush scheduler), and the
+   worklist walk with graph-scheduled commits — plus the pop and wave
+   counters the CI gate reads. [wl_waves_gt_flushes] is the structural
+   claim: at least one splice survived a touch that the flush rule would
+   have landed it on and was then verified in a multi-splice wave. *)
+type wl_row = {
+  wl_circuit : string;
+  wl_domains : int;
+  wl_pass2_full_s : float;
+  wl_pass2_scan_s : float;
+  wl_pass2_wl_s : float;
+  wl_speedup_vs_full : float;
+  wl_speedup_vs_scan : float;
+  wl_popped : int;
+  wl_total_roots : int; (* scan-walk visit bound: passes x circuit size *)
+  wl_pop_fraction : float;
+  wl_commit_waves : int;
+  wl_wave_coalesced : int;
+  wl_conflict_edges : int;
+  wl_identical : bool; (* full = scan-incremental = worklist+graph *)
+  wl_waves_gt_flushes : bool; (* wave_coalesced > 0 *)
+  wl_gate_ok : bool;
+}
+
 (* Persistent identification cache (DESIGN.md §15): lookup traffic of the
    same resynthesis run cold (empty store), warm (the store the cold run
    published) and with the cache off, plus the bit-identity and hit-rate
@@ -215,6 +242,7 @@ let json_circuits : (string * int * int * int * int) list ref = ref []
 let json_speedups : speedup_row list ref = ref []
 let json_kernels : kernel_row list ref = ref []
 let json_incremental : incr_row list ref = ref []
+let json_worklist : wl_row list ref = ref []
 let json_idcache : idc_row list ref = ref []
 let json_sat_atpg : sat_atpg_row list ref = ref []
 let json_journal : journal_row list ref = ref []
@@ -1286,6 +1314,11 @@ let incremental () =
       incremental;
       commit_batch;
       domains;
+      (* Pin the PR-6 configuration: this section measures dirty-region
+         tracking alone. The worklist walk and the graph scheduler get
+         their own section below. *)
+      worklist = false;
+      scheduler = Engine.Flush;
     }
   in
   (* The timed configurations below are all serial (domains = 1), so they
@@ -1361,6 +1394,140 @@ let incremental () =
   Printf.printf "  pass-2 cpu    full %7.3fs   incremental %7.3fs   (speedup %.2fx)\n"
     pass2_full_s pass2_incr_s speedup;
   Printf.printf "  identical results: %b (full vs incremental vs concurrent domains=%d)\n%!"
+    identical !domains
+
+(* ------------------------------------------------------------------ *)
+(* "Worklist + conflict-graph commits" section (DESIGN.md §17).        *)
+(* ------------------------------------------------------------------ *)
+
+let worklist () =
+  (* Pop/wave evidence comes from the engine.worklist_* counters, so
+     collection must be on (same rationale as the incremental section). *)
+  Obs.enable ();
+  let base =
+    Circuit_gen.generate
+      {
+        (* Same profile as the incremental section: local fanout cones, so
+           pass-1 splices dirty a small region and the dirty-root worklist
+           pops a small fraction of the roots the scan walk visits. *)
+        Circuit_gen.name = "incr-large";
+        n_pi = 400;
+        n_po = 360;
+        n_gates = (if !quick then 5200 else 10400);
+        depth = 4;
+        combine_pct = 1;
+        xor_pct = 4;
+        seed = 4242L;
+      }
+  in
+  record_circuit "incr-large" base;
+  let popped_c = Obs.Counter.make "engine.worklist_popped" in
+  let waves_c = Obs.Counter.make "engine.commit_waves" in
+  let coalesced_c = Obs.Counter.make "engine.wave_coalesced" in
+  let edges_c = Obs.Counter.make "engine.conflict_edges" in
+  let opts ~incremental ~worklist ~scheduler ~passes ~domains =
+    {
+      (proc2_options 4) with
+      Engine.max_candidates = 24;
+      max_passes = passes;
+      incremental;
+      worklist;
+      scheduler;
+      commit_batch = 8;
+      domains;
+    }
+  in
+  (* CPU time, minimum of three runs, like the incremental section; the
+     counter deltas and result strings are exactly reproducible, so they
+     come from the first run. *)
+  let run o =
+    let c = Circuit.copy base in
+    let p0 = Obs.Counter.value popped_c in
+    let w0 = Obs.Counter.value waves_c in
+    let k0 = Obs.Counter.value coalesced_c in
+    let e0 = Obs.Counter.value edges_c in
+    let t0 = Sys.time () in
+    let stats = Engine.optimize Engine.Gates o c in
+    let t = max 0. (Sys.time () -. t0) in
+    ( stats,
+      Bench_format.to_string c,
+      t,
+      Circuit.size c,
+      ( Obs.Counter.value popped_c - p0,
+        Obs.Counter.value waves_c - w0,
+        Obs.Counter.value coalesced_c - k0,
+        Obs.Counter.value edges_c - e0 ) )
+  in
+  let run_best o =
+    let s, n, w0, size, counters = run o in
+    let w = ref w0 in
+    for _ = 2 to 3 do
+      let _, _, wi, _, _ = run o in
+      if wi < !w then w := wi
+    done;
+    (s, n, !w, size, counters)
+  in
+  let full ~passes = opts ~incremental:false ~worklist:false ~scheduler:Engine.Flush ~passes ~domains:1 in
+  let scan ~passes = opts ~incremental:true ~worklist:false ~scheduler:Engine.Flush ~passes ~domains:1 in
+  let wl ~passes ~domains = opts ~incremental:true ~worklist:true ~scheduler:Engine.Graph ~passes ~domains in
+  let _, _, t1f, _, _ = run_best (full ~passes:1) in
+  let sf, nf, t2f, _, _ = run_best (full ~passes:2) in
+  let _, _, t1s, _, _ = run_best (scan ~passes:1) in
+  let ss, ns, t2s, _, _ = run_best (scan ~passes:2) in
+  let _, _, t1w, _, _ = run_best (wl ~passes:1 ~domains:1) in
+  let sw, nw, t2w, size_w, (popped, waves, coalesced, edges) =
+    run_best (wl ~passes:2 ~domains:1)
+  in
+  (* Fourth leg: the same worklist+graph run with wave verification fanned
+     out across the pool must still land the identical netlist. *)
+  let sp, np, _, _, _ = run (wl ~passes:2 ~domains:!domains) in
+  let pass2_full_s = max 0. (t2f -. t1f) in
+  let pass2_scan_s = max 0. (t2s -. t1s) in
+  let pass2_wl_s = max 0. (t2w -. t1w) in
+  let speedup num den = if den <= 0. then if num <= 0. then 1. else 99.99 else num /. den in
+  (* The scan walk visits every root of every pass; the worklist pops only
+     the dirty ones. *)
+  let total_roots = sw.Engine.passes * size_w in
+  let pop_fraction =
+    if total_roots = 0 then 1. else float_of_int popped /. float_of_int total_roots
+  in
+  let identical =
+    sf = ss && sf = sw && sf = sp && nf = ns && nf = nw && nf = np
+  in
+  let waves_gt_flushes = coalesced > 0 in
+  let row =
+    {
+      wl_circuit = "incr-large";
+      wl_domains = !domains;
+      wl_pass2_full_s = pass2_full_s;
+      wl_pass2_scan_s = pass2_scan_s;
+      wl_pass2_wl_s = pass2_wl_s;
+      wl_speedup_vs_full = speedup pass2_full_s pass2_wl_s;
+      wl_speedup_vs_scan = speedup pass2_scan_s pass2_wl_s;
+      wl_popped = popped;
+      wl_total_roots = total_roots;
+      wl_pop_fraction = pop_fraction;
+      wl_commit_waves = waves;
+      wl_wave_coalesced = coalesced;
+      wl_conflict_edges = edges;
+      wl_identical = identical;
+      wl_waves_gt_flushes = waves_gt_flushes;
+      wl_gate_ok =
+        identical && pop_fraction < 1. && edges = 0 && waves_gt_flushes;
+    }
+  in
+  json_worklist := row :: !json_worklist;
+  Printf.printf "worklist walk + graph commits on %s (%d two-input gates)\n"
+    row.wl_circuit
+    (Circuit.two_input_gate_count base);
+  Printf.printf
+    "  pass-2 cpu    full %7.3fs   scan-incr %7.3fs   worklist %7.3fs\n"
+    pass2_full_s pass2_scan_s pass2_wl_s;
+  Printf.printf
+    "  worklist pops %d of %d scan visits (%.2f%%); %d waves, %d coalesced, %d conflict edges\n"
+    popped total_roots (100. *. pop_fraction) waves coalesced edges;
+  Printf.printf
+    "  identical results: %b (full vs scan-incremental vs worklist+graph vs domains=%d)\n%!"
     identical !domains
 
 (* ------------------------------------------------------------------ *)
@@ -1657,6 +1824,26 @@ let write_json file =
            r.in_pass2_incr_s r.in_speedup r.in_identical r.in_gate_ok))
     (List.rev !json_incremental);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"worklist\": [\n";
+  List.iteri
+    (fun i r ->
+      item (i = 0)
+        (Printf.sprintf
+           "    {\"circuit\": \"%s\", \"domains\": %d, \
+            \"pass2_full_seconds\": %.6f, \"pass2_scan_seconds\": %.6f, \
+            \"pass2_worklist_seconds\": %.6f, \"speedup_vs_full\": %.4f, \
+            \"speedup_vs_scan\": %.4f, \"worklist_popped\": %d, \
+            \"total_roots\": %d, \"pop_fraction\": %.4f, \
+            \"commit_waves\": %d, \"wave_coalesced\": %d, \
+            \"conflict_edges\": %d, \"identical_results\": %b, \
+            \"waves_gt_flushes\": %b, \"gate_ok\": %b}"
+           (json_escape r.wl_circuit) r.wl_domains r.wl_pass2_full_s
+           r.wl_pass2_scan_s r.wl_pass2_wl_s r.wl_speedup_vs_full
+           r.wl_speedup_vs_scan r.wl_popped r.wl_total_roots r.wl_pop_fraction
+           r.wl_commit_waves r.wl_wave_coalesced r.wl_conflict_edges
+           r.wl_identical r.wl_waves_gt_flushes r.wl_gate_ok))
+    (List.rev !json_worklist);
+  Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"idcache\": [\n";
   List.iteri
     (fun i r ->
@@ -1744,6 +1931,7 @@ let () =
   section "micro" "Bechamel micro-benchmarks" micro;
   section "kernels" "word-parallel kernels vs scalar baselines" kernels;
   section "incremental" "incremental resynthesis vs full re-enumeration" incremental;
+  section "worklist" "worklist walk + conflict-graph commit scheduling" worklist;
   section "idcache" "persistent identification cache: cold vs warm vs off" idcache;
   section "sat_atpg" "SAT escalation of PODEM-aborted faults" sat_atpg;
   section "journal" "decision journal: overhead and bit-identity" journal;

@@ -7,6 +7,10 @@ type verify =
   | `Sampled of int
   | `Full ]
 
+type scheduler =
+  | Flush
+  | Graph
+
 type options = {
   k : int;
   max_candidates : int;
@@ -27,6 +31,8 @@ type options = {
   cache_dir : string option;
   incremental : bool;
   commit_batch : int;
+  worklist : bool;
+  scheduler : scheduler;
 }
 
 let default_options =
@@ -50,6 +56,8 @@ let default_options =
     cache_dir = None;
     incremental = true;
     commit_batch = 8;
+    worklist = true;
+    scheduler = Graph;
   }
 
 (* Observability probes. [cut_size_h] and [realised_c] fire inside worker
@@ -81,6 +89,23 @@ let reenum_skipped_c =
 let concurrent_commits_c =
   Obs.Counter.make ~help:"splices landed through a multi-splice commit flush"
     "engine.concurrent_commits"
+
+let worklist_popped_c =
+  Obs.Counter.make ~help:"dirty roots popped from the pass worklist"
+    "engine.worklist_popped"
+
+let conflict_edges_c =
+  Obs.Counter.make ~help:"footprint overlaps between queued splices"
+    "engine.conflict_edges"
+
+let commit_waves_c =
+  Obs.Counter.make ~help:"independent-set verification waves landed"
+    "engine.commit_waves"
+
+let wave_coalesced_c =
+  Obs.Counter.make
+    ~help:"splices verified in a multi-splice wave after surviving a touch"
+    "engine.wave_coalesced"
 
 type stats = {
   passes : int;
@@ -184,22 +209,58 @@ let candidate_seed base root idx =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(* Per-run scratch threaded through every pass: the persistent dirty set of
-   the incremental walk, the reusable enumeration dedup table, and the
-   serial extraction buffer. All three survive circuit growth — the dirty
-   set grows on demand, the dedup table is cleared per root, and the
-   scratch buffer is re-allocated when the circuit outgrows it. *)
+(* Per-run scratch threaded through every pass: the persistent dirty
+   worklist of the incremental walk, the output-reachable set that stands
+   in for the scan walk's [marked] array, the reusable enumeration dedup
+   table, the serial extraction buffer, and the pending-footprint scratch
+   the commit queue clears instead of reallocating. All survive circuit
+   growth — the bitsets grow on demand, the dedup table is cleared per
+   root, and the scratch buffer is re-allocated when the circuit outgrows
+   it. *)
 type run_state = {
-  dirty : Footprint.set;
+  wl : Footprint.Worklist.t;
+  reachable : Footprint.set;
   dedup : Subcircuit.dedup;
   mutable scratch : int64 array;
+  pending_scratch : Footprint.set;
+  members_scratch : Footprint.set;
 }
 
-let make_run_state c =
+(* The scan walk's [marked] array computes output-reachability on the fly
+   (outputs seed it, every processed root propagates to its fanins). The
+   worklist walk visits only dirty roots, so it needs the same predicate as
+   a set: seeded here by one DFS from the outputs, extended with the fresh
+   nodes of every splice. No other node ever becomes reachable — new edges
+   only point at freshly spliced regions — and nodes that stop being
+   reachable are dead (the post-splice sweep removes them), which the
+   [is_gate] check already filters. *)
+let reachable_from_outputs c =
+  let s = Footprint.create (Circuit.size c) in
+  let stack = ref [] in
+  Array.iter (fun o -> stack := o :: !stack) (Circuit.outputs c);
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | id :: rest ->
+      stack := rest;
+      if Circuit.is_alive c id && not (Footprint.mem s id) then begin
+        Footprint.add s id;
+        Array.iter (fun f -> stack := f :: !stack) (Circuit.fanins c id)
+      end
+  done;
+  s
+
+let make_run_state opts c =
+  let track = opts.incremental && opts.worklist in
   {
-    dirty = Footprint.create ~all:true (Circuit.size c);
+    wl = Footprint.Worklist.create ~all:true ~track (Circuit.size c);
+    reachable =
+      (if track then reachable_from_outputs c else Footprint.create 1);
     dedup = Subcircuit.dedup ();
     scratch = [||];
+    pending_scratch = Footprint.create 1;
+    members_scratch = Footprint.create 1;
   }
 
 (* Below this many candidates a pooled scoring batch runs inline on the
@@ -333,18 +394,113 @@ let is_gate c id =
    [commit_batch > 1]): the winning candidate, its root, and the
    accepted-splice index it drew — the index drives verification sampling
    and the [inject_unsound] hook, so it is fixed at decision time and
-   replayed at flush. *)
+   replayed at landing. [p_fp] is the decision-time observer set (every
+   root whose evaluation could distinguish the deferred circuit from the
+   committed one, see [splice_casualties]), kept per-splice only by the
+   conflict-graph scheduler, whose touch rule lands individual observer
+   sets instead of the whole queue. [p_dead] is the exact set of nodes the
+   splice's sweep will remove; [p_kept] records that the splice survived
+   at least one pop the flush rule would have landed it on. *)
 type pending = {
   p_root : int;
   p_cand : candidate;
   p_idx : int;
+  p_fp : Footprint.set option;
+  p_dead : int list;
+  mutable p_kept : bool;
 }
+
+(* Exact casualty prediction for a splice, computed on the pre-splice
+   circuit. [Replace.splice] retargets the root's readers onto the fresh
+   unit and then sweeps global output-reachability; in a DAG whose only
+   edge changes are that retarget, the sweep kills exactly the
+   reference-count cascade from the root — a node dies iff it is neither
+   a primary input, nor an output, nor a cut input the fresh unit reads
+   (the unit's output cone does not necessarily use every cut position),
+   and every one of its readers dies. Returns [(dead, boundary)]:
+   [dead] always contains the root; [boundary] is the sweep boundary —
+   the live fanins of dead nodes, whose fanout degree the commit will
+   change. Both lists are duplicate-free. *)
+let splice_casualties c ~queued_dead (sub : Subcircuit.t)
+    (built : Comparison_unit.built) =
+  let unit_c = built.Comparison_unit.circuit in
+  let used_unit = Array.make (Circuit.size unit_c) false in
+  let rec mark_unit id =
+    if not used_unit.(id) then begin
+      used_unit.(id) <- true;
+      Array.iter mark_unit (Circuit.fanins unit_c id)
+    end
+  in
+  mark_unit (Circuit.outputs unit_c).(0);
+  let used = Hashtbl.create 8 in
+  Array.iteri
+    (fun j pi ->
+      if used_unit.(pi) then Hashtbl.replace used sub.Subcircuit.inputs.(j) ())
+    (Circuit.inputs unit_c);
+  let outputs = Circuit.outputs c in
+  let dead = Hashtbl.create 16 in
+  let dead_list = ref [] in
+  let kill id =
+    Hashtbl.replace dead id ();
+    dead_list := id :: !dead_list
+  in
+  kill sub.Subcircuit.root;
+  (* [queued_dead] holds the predicted casualties of older splices still
+     in the queue: they are alive right now but will be gone before this
+     splice commits (landings are in decision order), so the cascade must
+     count them as dead readers. A node that dies only through the
+     combination is attributed to this (newer) splice — exactly right,
+     since any landed prefix containing this splice contains the older
+     ones too. *)
+  let gone r = Hashtbl.mem dead r || Footprint.mem queued_dead r in
+  (* Every kill re-examines the victim's fanins, so a fanin is re-checked
+     whenever one of its readers dies: when its last reader goes, the
+     check passes — the fixpoint needs no separate worklist. *)
+  let rec cascade id =
+    Array.iter
+      (fun f ->
+        if
+          Circuit.is_alive c f
+          && (not (gone f))
+          && (match Circuit.kind c f with Gate.Input -> false | _ -> true)
+          && (not (Hashtbl.mem used f))
+          && (not (Array.exists (Int.equal f) outputs))
+          && List.for_all gone (Circuit.fanouts c f)
+        then begin
+          kill f;
+          cascade f
+        end)
+      (Circuit.fanins c id)
+  in
+  cascade sub.Subcircuit.root;
+  let boundary = Hashtbl.create 16 in
+  let boundary_list = ref [] in
+  List.iter
+    (fun d ->
+      Array.iter
+        (fun f ->
+          if
+            Circuit.is_alive c f
+            && (not (gone f))
+            && not (Hashtbl.mem boundary f)
+          then begin
+            Hashtbl.replace boundary f ();
+            boundary_list := f :: !boundary_list
+          end)
+        (Circuit.fanins c d))
+    !dead_list;
+  (!dead_list, !boundary_list)
 
 let run_pass ?pool ?cache objective opts vstate st c =
   let labels = Paths.labels c in
-  let marked = Array.make (Circuit.size c) false in
-  Array.iter (fun o -> if is_gate c o then marked.(o) <- true) (Circuit.outputs c);
-  let order = Circuit.topo_order c in
+  let dirty = Footprint.Worklist.fp st.wl in
+  let incremental = opts.incremental in
+  let use_worklist = incremental && opts.worklist in
+  (* Deferred commits need the footprint machinery for their touch rule, so
+     [--no-incremental] also forces immediate serial splices: that is
+     exactly the pre-incremental engine. *)
+  let batch = if incremental then max 1 opts.commit_batch else 1 in
+  let use_graph = batch > 1 && opts.scheduler = Graph in
   (* Simulation snapshot for don't-care analysis. Replacements only rewrite
      logic downstream of the gates still to be processed, so upstream node
      values stay valid for the whole pass. Compiling the circuit is pure
@@ -362,17 +518,34 @@ let run_pass ?pool ?cache objective opts vstate st c =
     else None
   in
   let replacements = ref 0 in
-  let incremental = opts.incremental in
-  (* Deferred commits need the footprint machinery for their flush-on-touch
-     rule, so [--no-incremental] also forces immediate serial splices: that
-     is exactly the pre-incremental engine. *)
-  let batch = if incremental then max 1 opts.commit_batch else 1 in
-  let pending = ref [] (* newest first; flushed in decision order *) in
+  let pending = ref [] (* newest first; landed in decision order *) in
   let npending = ref 0 in
-  (* Fanout closure of every deferred footprint: evaluating any root inside
-     it could observe a not-yet-applied splice, so it forces a flush. Reset
+  (* Touch set of the queue: evaluating any root inside it could observe a
+     not-yet-applied splice, so the touch rule lands splices first. Under
+     the flush scheduler this is the union of the decision-time footprint
+     closures (cut inputs, members, everything downstream — the PR-6
+     over-approximation). The graph scheduler keeps the union of the much
+     smaller per-splice *observer* sets instead: evaluation at a root [y]
+     reads only the fanin structure of [y]'s strict fanin cone and the
+     fanout lists of its member gates, so [y] can distinguish the deferred
+     circuit from the committed one iff that cone contains a node the
+     commit restructures (a reader of the replaced root) or whose fanout
+     list it changes (a surviving cut input or a sweep-boundary node) —
+     equivalently iff [y] lies in the fanout cone of a live reader of one
+     of those. Dead regions cannot re-export an edge (a dead node has no
+     live reader), so in particular a surviving cut input itself scores
+     identically before and after the landing and is NOT an observer: the
+     walk re-evaluates it without forcing a landing, which is what lets
+     batches outlive their own footprints. Cleared (not reallocated)
      whenever the queue drains. *)
-  let pending_dirty = ref (Footprint.create 1) in
+  let pending_dirty = st.pending_scratch in
+  (* Union of the queued splices' exact will-die sets ([splice_casualties]).
+     Had the queue committed immediately these nodes would already be gone
+     and the walk would pass them silently, so a pop here is skipped — and
+     must be: a casualty outside the footprint (sweep cascade past the cut)
+     that is dirty for unrelated reasons would otherwise be evaluated
+     alive in deferred mode and dead in immediate mode. *)
+  let pending_members = st.members_scratch in
   (* Pre-splice footprint of a decided candidate: its cut inputs (whose
      fanout sets change), its member gates (which die), and everything
      downstream of either. Marked before the splice mutates the netlist,
@@ -382,21 +555,89 @@ let run_pass ?pool ?cache objective opts vstate st c =
       (fun acc input -> input :: acc)
       cand.sub.Subcircuit.gates cand.sub.Subcircuit.inputs
   in
+  (* Kinds whose fanout list the scoring of some future root could read:
+     member gates and constants, but never primary inputs (a PI cannot be
+     a member of a subcircuit, and nothing else reads fanouts). *)
+  let observable_src id =
+    Circuit.is_alive c id
+    && match Circuit.kind c id with Gate.Input -> false | _ -> true
+  in
+  (* Returns the per-splice observer set (graph scheduler) and the exact
+     will-die list. The casualty and observer computations are frozen at
+     decision time: no later decision can reach into a queued splice's
+     region without first landing it (its root would be a skipped casualty
+     or a landing observer), so the sets stay valid while queued. *)
   let mark_decision cand =
     let seeds = footprint_seeds cand in
     Obs.Counter.incr dirty_regions_c;
-    Obs.Histogram.observe dirty_nodes_h
-      (Footprint.mark_fanout_cone c st.dirty seeds);
-    if batch > 1 then ignore (Footprint.mark_fanout_cone c !pending_dirty seeds)
+    if batch = 1 then begin
+      Obs.Histogram.observe dirty_nodes_h
+        (Footprint.Worklist.mark_fanout_cone c st.wl seeds);
+      (None, [])
+    end
+    else begin
+      let sub = cand.sub in
+      let dead, boundary =
+        splice_casualties c ~queued_dead:pending_members sub cand.built
+      in
+      List.iter (Footprint.add pending_members) dead;
+      if use_graph then begin
+        (* Dirty the sweep-boundary cones now as well: an immediate commit
+           marks them at this same walk position ([mark_swept_boundary]),
+           and the observers below must be queued to trigger landings. *)
+        Obs.Histogram.observe dirty_nodes_h
+          (Footprint.Worklist.mark_fanout_cone c st.wl
+             (List.rev_append boundary seeds));
+        let obs = Footprint.create (Circuit.size c) in
+        let srcs =
+          sub.Subcircuit.root
+          :: List.rev_append
+               (List.filter observable_src boundary)
+               (List.filter observable_src
+                  (Array.to_list sub.Subcircuit.inputs))
+        in
+        let obs_seeds =
+          List.concat_map
+            (fun v ->
+              List.filter
+                (fun r -> not (Footprint.mem pending_members r))
+                (Circuit.fanouts c v))
+            srcs
+        in
+        ignore (Footprint.mark_fanout_cone c obs obs_seeds);
+        Footprint.union_into pending_dirty obs;
+        (Some obs, dead)
+      end
+      else begin
+        (* Flush scheduler: the touch closure must cover the sweep-boundary
+           cones too. The exact-casualty skip no longer lands the queue on a
+           doomed cut input the way the PR-6 closure touch did, so without
+           [boundary] here a root between the boundary and the eventual
+           touch would be evaluated against the pre-splice fanouts. Dirty
+           marks at decision time mirror the immediate commit's
+           [mark_swept_boundary] at this same walk position. *)
+        let all = List.rev_append boundary seeds in
+        Obs.Histogram.observe dirty_nodes_h
+          (Footprint.Worklist.mark_fanout_cone c st.wl all);
+        ignore (Footprint.mark_fanout_cone c pending_dirty all);
+        (None, dead)
+      end
+    end
   in
   (* Nodes the splice imported (ids allocated past [since]) and their fanout
-     cones: dirty so the next pass re-evaluates the rebuilt region. *)
+     cones: dirty so the next pass re-evaluates the rebuilt region. Fresh
+     nodes are output-reachable by construction (the splice retargets the
+     old root's readers onto them), so the worklist's reachability predicate
+     learns them here. *)
   let mark_fresh since =
     let seeds = ref [] in
     for id = Circuit.size c - 1 downto since do
-      if Circuit.is_alive c id then seeds := id :: !seeds
+      if Circuit.is_alive c id then begin
+        seeds := id :: !seeds;
+        if use_worklist then Footprint.add st.reachable id
+      end
     done;
-    ignore (Footprint.mark_fanout_cone c st.dirty !seeds)
+    ignore (Footprint.Worklist.mark_fanout_cone c st.wl !seeds)
   in
   (* The sweep inside [Replace.splice] cascades upstream past the cut: a cut
      input left without consumers dies, then its fanins lose a consumer, and
@@ -420,7 +661,7 @@ let run_pass ?pool ?cache objective opts vstate st c =
             (fun f -> if Circuit.is_alive c f then seeds := f :: !seeds)
             fins)
       pre_fanins;
-    ignore (Footprint.mark_fanout_cone c st.dirty !seeds)
+    ignore (Footprint.Worklist.mark_fanout_cone c st.wl !seeds)
   in
   (* Apply one decided splice. [pre_verified] means a concurrent flush
      already ran the exhaustive local check. Returns false if the CEC miter
@@ -494,27 +735,81 @@ let run_pass ?pool ?cache objective opts vstate st c =
     end;
     sound
   in
-  (* Land the deferred queue. The read-only half — the exhaustive local
-     check of each pending replacement — touches only its own cone, pairwise
-     footprint-disjoint by the flush-on-touch rule, so it fans out across
-     the pool before any graph mutation. The mutating half stays serial in
-     decision order: that fixed tie-break is what keeps batched commits
-     bit-identical to immediate ones. *)
-  let flush () =
-    if !npending > 0 then begin
-      let ps = Array.of_list (List.rev !pending) in
-      pending := [];
-      npending := 0;
-      pending_dirty := Footprint.create (Circuit.size c);
-      Obs.Span.with_ "engine.commit_flush" (fun () ->
-          let m = Array.length ps in
+  (* Land a decision-order group of queued splices. The read-only half —
+     the exhaustive local check of each replacement — is scheduled by the
+     conflict graph: footprint overlap is an edge (bitset intersection on
+     the per-splice closures), and a greedy colouring in decision order
+     cuts the group into consecutive independent-set waves, each of which
+     fans its verifications out across the pool. The touch rule keeps the
+     queue pairwise disjoint in practice, so the colouring almost always
+     produces a single wave; the edges counter proves that invariant at
+     runtime rather than assuming it. Mutations stay serial in decision
+     order across all waves: that fixed tie-break (and the id allocation
+     order it implies) is what keeps batched commits bit-identical to
+     immediate ones. *)
+  let land_group ps =
+    Obs.Span.with_ "engine.commit_flush" (fun () ->
+        let m = Array.length ps in
+        if Obs.Journal.enabled () then
+          Obs.Journal.emit "commit_flush" [ ("batch", Obs_json.Int m) ];
+        (* [conflict i j], for [i] decided before [j]: could committing the
+           older splice perturb the verification of the newer one? Wave
+           verifications are read-only (each re-extracts its sub from the
+           current circuit) and the commits stay serial in decision order,
+           so the only dangerous direction is an older commit reaching into
+           a newer sub — which needs the newer root inside the older
+           splice's observer set. That is impossible for co-queued splices
+           (a root popped while another splice was queued either landed it
+           as an observer or was skipped as a casualty), so the colouring
+           should always produce a single wave. The matrix is kept as a
+           runtime proof of that theorem rather than an assumption: an edge
+           both splits the wave (restoring soundness) and increments the
+           counter the bench gates on. Counted once per ordered pair. *)
+        let conflict =
+          if use_graph && m > 1 then begin
+            let edges = Array.make_matrix m m false in
+            for i = 0 to m - 1 do
+              for j = i + 1 to m - 1 do
+                let clash =
+                  match ps.(i).p_fp with
+                  | Some oi -> Footprint.mem oi ps.(j).p_root
+                  | None -> true
+                in
+                if clash then begin
+                  edges.(i).(j) <- true;
+                  edges.(j).(i) <- true;
+                  Obs.Counter.incr conflict_edges_c
+                end
+              done
+            done;
+            fun i j -> edges.(i).(j)
+          end
+          else fun _ _ -> false
+        in
+        let wave_start = ref 0 in
+        while !wave_start < m do
+          let lo = !wave_start in
+          let hi = ref (lo + 1) in
+          let open_ = ref true in
+          while !open_ && !hi < m do
+            let clashes = ref false in
+            for j = lo to !hi - 1 do
+              if conflict !hi j then clashes := true
+            done;
+            if !clashes then open_ := false else incr hi
+          done;
+          let hi = !hi in
+          wave_start := hi;
+          let wlen = hi - lo in
+          Obs.Counter.incr commit_waves_c;
           if Obs.Journal.enabled () then
-            Obs.Journal.emit "commit_flush" [ ("batch", Obs_json.Int m) ];
+            Obs.Journal.emit "commit_wave"
+              [ ("size", Obs_json.Int wlen); ("batch", Obs_json.Int m) ];
           let pre_verified =
             match pool with
-            | Some pool when m > 1 && opts.verify_local ->
+            | Some pool when wlen > 1 && opts.verify_local ->
               let ok =
-                Pool.map pool ~chunk:1
+                Pool.map_sub pool ~chunk:1 ~lo ~len:wlen
                   (fun p ->
                     (not p.p_cand.exact)
                     || Replace.implements c p.p_cand.sub p.p_cand.built)
@@ -524,96 +819,222 @@ let run_pass ?pool ?cache objective opts vstate st c =
               true
             | _ -> false
           in
-          Array.iter
-            (fun p ->
-              if commit_one ~pre_verified p then begin
-                if m > 1 then Obs.Counter.incr concurrent_commits_c
-              end
-              else begin
-                (* Refused and rolled back: the root survives with its old
-                   structure, but the walk is already past it — schedule it
-                   and its fanins for the next pass instead. *)
-                Footprint.add st.dirty p.p_root;
-                Array.iter
-                  (fun f -> if is_gate c f then Footprint.add st.dirty f)
-                  (Circuit.fanins c p.p_root)
-              end)
-            ps)
+          for i = lo to hi - 1 do
+            let p = ps.(i) in
+            if commit_one ~pre_verified p then begin
+              if m > 1 then Obs.Counter.incr concurrent_commits_c;
+              if wlen > 1 && p.p_kept then Obs.Counter.incr wave_coalesced_c
+            end
+            else begin
+              (* Refused and rolled back: the root survives with its old
+                 structure, but the walk is already past it — schedule it,
+                 its fanins, and its predicted casualties (skipped while
+                 the splice was queued, alive again now) for the next pass
+                 instead. *)
+              Footprint.Worklist.push st.wl p.p_root;
+              Array.iter
+                (fun f -> if is_gate c f then Footprint.Worklist.push st.wl f)
+                (Circuit.fanins c p.p_root);
+              List.iter
+                (fun m -> if is_gate c m then Footprint.Worklist.push st.wl m)
+                p.p_dead
+            end
+          done
+        done)
+  in
+  let land_all () =
+    if !npending > 0 then begin
+      let ps = Array.of_list (List.rev !pending) in
+      pending := [];
+      npending := 0;
+      Footprint.clear pending_dirty;
+      Footprint.clear pending_members;
+      land_group ps
     end
   in
-  (* Outputs towards inputs: descending topological positions. The paper's
-     line numbering is BFS from the inputs; descending topological order
-     visits every line after all lines it feeds, which is what Step 2 needs. *)
-  for i = Array.length order - 1 downto 0 do
-    let g = order.(i) in
-    if is_gate c g && marked.(g) then begin
-      let mark_fanins_of g =
-        Array.iter
-          (fun input -> if is_gate c input then marked.(input) <- true)
-          (Circuit.fanins c g)
+  (* Touch rule at root [g] (the walk is about to read [g]'s region). The
+     flush scheduler lands the whole queue. The graph scheduler lands the
+     decision-order prefix up to the newest splice whose closure reaches
+     [g] — every splice the evaluation of [g] could observe, and everything
+     decided before them so fresh ids keep their immediate-mode allocation
+     order — while newer, disjoint splices stay queued and accumulate into
+     larger (more concurrent) waves. *)
+  let land_covering g =
+    if not use_graph then land_all ()
+    else begin
+      let rec split kept = function
+        | [] -> None
+        | p :: older -> (
+          match p.p_fp with
+          | Some fp when Footprint.mem fp g -> Some (kept, p :: older)
+          | _ -> split (p :: kept) older)
       in
-      if incremental && not (Footprint.mem st.dirty g) then begin
-        (* Clean root: nothing its enumeration, scoring or don't-care
-           analysis reads has changed since it was last evaluated (and
-           rejected), so re-evaluation would reproduce that rejection
-           bit-exactly. Keep the walk moving and skip the work. *)
-        Obs.Counter.incr reenum_skipped_c;
-        mark_fanins_of g
-      end
-      else begin
-        (* About to read [g]'s region: any deferred splice whose footprint
-           reaches [g] must land first so the evaluation observes it. The
-           flush may splice [g] itself away (members of a deferred cone lie
-           upstream, still ahead of the walk) — the immediate-mode walk
-           would equally have found it dead, so just skip it then. *)
-        if !npending > 0 && Footprint.mem !pending_dirty g then flush ();
-        if is_gate c g then begin
-          if incremental then Footprint.remove st.dirty g;
-          let chosen =
-            List.fold_left
-              (fun best cand ->
-                if better objective ~current_paths:labels.(g) cand best then
-                  Some cand
-                else best)
-              None
-              (score_candidates ?pool ?cache ~st opts ~sim labels c g)
-          in
-          match chosen with
-          | Some cand ->
-            let idx = vstate.attempts in
-            vstate.attempts <- idx + 1;
-            let p = { p_root = g; p_cand = cand; p_idx = idx } in
-            if incremental then mark_decision cand;
-            if batch > 1 then begin
-              (* Defer the splice; treat it as accepted for the walk. A
-                 flush refusal cannot retract these marks — it reschedules
-                 the root for the next pass instead (see [flush]). *)
-              pending := p :: !pending;
-              incr npending;
-              Array.iter
-                (fun input -> if is_gate c input then marked.(input) <- true)
-                cand.sub.Subcircuit.inputs;
-              if !npending >= batch then flush ()
-            end
-            else if commit_one ~pre_verified:false p then
-              Array.iter
-                (fun input -> if is_gate c input then marked.(input) <- true)
-                cand.sub.Subcircuit.inputs
-            else
-              (* Unsound rewrite refused: the splice was rolled back, so
-                 [g] is intact — continue as if no candidate had improved
-                 on it. *)
-              mark_fanins_of g
-          | None -> mark_fanins_of g
-        end
-      end
+      match split [] !pending with
+      | None ->
+        (* The union closure said touched but no queued splice reaches [g];
+           only stale state could cause this — land everything. *)
+        land_all ()
+      | Some (kept_oldest_first, landing_newest_first) ->
+        let ps = Array.of_list (List.rev landing_newest_first) in
+        pending := List.rev kept_oldest_first;
+        npending := List.length kept_oldest_first;
+        Footprint.clear pending_dirty;
+        Footprint.clear pending_members;
+        List.iter
+          (fun p ->
+            p.p_kept <- true;
+            List.iter (Footprint.add pending_members) p.p_dead;
+            match p.p_fp with
+            | Some fp -> Footprint.union_into pending_dirty fp
+            | None -> ())
+          kept_oldest_first;
+        land_group ps
     end
-  done;
-  flush ();
+  in
+  (* A popped member gate is a touch the PR-6 flush rule landed the whole
+     queue on (members sit inside every decision's footprint closure): the
+     member-skip is exactly what lets the queue outlive it. Record the
+     survival on every splice queued right now, so a later multi-splice
+     wave is counted as coalescing the old rule could not have produced. *)
+  let outlived_flush () = List.iter (fun p -> p.p_kept <- true) !pending in
+  (* Evaluate one root and decide. [on_accept] runs after a deferred or
+     sound immediate splice (the scan walk marks the cut inputs for further
+     processing; the worklist walk already queued them through
+     [mark_decision]); [on_reject] runs when no candidate improved on [g]
+     or an immediate splice was refused (the scan walk marks [g]'s fanins;
+     the worklist walk needs nothing — dirty fanins are already queued, and
+     clean ones would only replay their previous rejection). *)
+  let process_root ~on_accept ~on_reject g =
+    if incremental then Footprint.remove dirty g;
+    let chosen =
+      List.fold_left
+        (fun best cand ->
+          if better objective ~current_paths:labels.(g) cand best then Some cand
+          else best)
+        None
+        (score_candidates ?pool ?cache ~st opts ~sim labels c g)
+    in
+    match chosen with
+    | Some cand ->
+      let idx = vstate.attempts in
+      vstate.attempts <- idx + 1;
+      let p_fp, p_dead =
+        if incremental then mark_decision cand else (None, [])
+      in
+      let p =
+        { p_root = g; p_cand = cand; p_idx = idx; p_fp; p_dead;
+          p_kept = false }
+      in
+      if batch > 1 then begin
+        (* Defer the splice; treat it as accepted for the walk. A landing
+           refusal cannot retract these marks — it reschedules the root
+           for the next pass instead (see [land_group]). *)
+        pending := p :: !pending;
+        incr npending;
+        on_accept cand;
+        if !npending >= batch then land_all ()
+      end
+      else if commit_one ~pre_verified:false p then on_accept cand
+      else
+        (* Unsound rewrite refused: the splice was rolled back, so [g] is
+           intact — continue as if no candidate had improved on it. *)
+        on_reject g
+    | None -> on_reject g
+  in
+  if use_worklist then begin
+    (* Dirty-root worklist (DESIGN.md §17): pop exactly the dirty roots in
+       descending topological order — the same outputs-towards-inputs
+       order as the scan walk, O(changes) pops instead of O(size) visits
+       (the topological sort itself is already paid for by [Paths.labels]
+       above). The scan walk's [marked] array is replaced by the
+       persistent [st.reachable] predicate: a popped root is processed iff
+       it is a live gate on a path to an output, which is precisely when
+       the scan walk would have marked it. Clean roots are never queued,
+       so the skip branch disappears entirely. *)
+    let order = Circuit.topo_order c in
+    let pos = Array.make (Circuit.size c) (-1) in
+    Array.iteri (fun i id -> pos.(id) <- i) order;
+    Footprint.Worklist.start_pass st.wl ~pos;
+    let on_accept _ = () and on_reject _ = () in
+    let continue_ = ref true in
+    while !continue_ do
+      match Footprint.Worklist.pop st.wl with
+      | None -> continue_ := false
+      | Some g ->
+        Obs.Counter.incr worklist_popped_c;
+        if is_gate c g && Footprint.mem st.reachable g then
+          if !npending > 0 && Footprint.mem pending_members g then
+            (* Deferred-dead: under immediate commits this member would
+               already be gone and the walk would pass it silently. Leave
+               the queue intact — this is what lets batches accumulate. *)
+            outlived_flush ()
+          else begin
+            (* About to read [g]'s region: any deferred splice whose
+               footprint reaches [g] must land first so the evaluation
+               observes it. *)
+            if !npending > 0 && Footprint.mem pending_dirty g then
+              land_covering g;
+            if is_gate c g then process_root ~on_accept ~on_reject g
+          end
+    done
+  end
+  else begin
+    (* Scan walk: outputs towards inputs, descending topological positions.
+       The paper's line numbering is BFS from the inputs; descending
+       topological order visits every line after all lines it feeds, which
+       is what Step 2 needs. *)
+    let marked = Array.make (Circuit.size c) false in
+    Array.iter
+      (fun o -> if is_gate c o then marked.(o) <- true)
+      (Circuit.outputs c);
+    let order = Circuit.topo_order c in
+    let mark_fanins_of g =
+      Array.iter
+        (fun input -> if is_gate c input then marked.(input) <- true)
+        (Circuit.fanins c g)
+    in
+    let on_accept cand =
+      Array.iter
+        (fun input -> if is_gate c input then marked.(input) <- true)
+        cand.sub.Subcircuit.inputs
+    in
+    for i = Array.length order - 1 downto 0 do
+      let g = order.(i) in
+      if is_gate c g && marked.(g) then
+        if incremental && not (Footprint.mem dirty g) then begin
+          (* Clean root: nothing its enumeration, scoring or don't-care
+             analysis reads has changed since it was last evaluated (and
+             rejected), so re-evaluation would reproduce that rejection
+             bit-exactly. Keep the walk moving and skip the work. *)
+          Obs.Counter.incr reenum_skipped_c;
+          mark_fanins_of g
+        end
+        else if !npending > 0 && Footprint.mem pending_members g then
+          (* Deferred-dead member, as in the worklist walk above: an
+             immediate commit would have removed it already, and a dead
+             node neither enumerates nor marks its fanins. *)
+          outlived_flush ()
+        else begin
+          (* Touch rule, as in the worklist walk above. *)
+          if !npending > 0 && Footprint.mem pending_dirty g then
+            land_covering g;
+          if is_gate c g then
+            process_root ~on_accept ~on_reject:mark_fanins_of g
+        end
+    done
+  end;
+  land_all ();
   !replacements
 
 let optimize_with ?pool objective opts c =
   let reference = if opts.verify_global then Some (Circuit.copy c) else None in
+  (* Establish "alive implies output-reachable (or Input)" before the first
+     pass. Every splice sweeps, so the invariant then holds for the whole
+     run — and the incremental casualty prediction depends on it: a
+     pre-existing unreachable node would count as a live reader when the
+     cascade decides what a queued splice kills, while the splice's global
+     sweep reaps it along with everything it was propping up. *)
+  ignore (Circuit.sweep c);
   let gates_before = Circuit.two_input_gate_count c in
   let paths_before = Paths.total c in
   (* One identification cache per run, shared across candidates, roots and
@@ -634,7 +1055,7 @@ let optimize_with ?pool objective opts c =
   (* The dirty set starts all-true (first pass looks at everything) and
      persists across passes: a pass only re-evaluates roots whose region
      some earlier splice touched. *)
-  let st = make_run_state c in
+  let st = make_run_state opts c in
   let continue = ref true in
   while !continue && !passes < opts.max_passes do
     incr passes;

@@ -30,6 +30,26 @@ type verify =
     already proved unreachable from the primary inputs, so the miter stays
     UNSAT. *)
 
+type scheduler =
+  | Flush
+      (** Flush-on-touch (the PR-6 rule): the first time the walk reads a
+          root inside the pending footprint closure, the whole deferred
+          queue lands. Conservative and simple, but a touch near one
+          splice also forces every unrelated queued splice to land, so
+          batches rarely fill. *)
+  | Graph
+      (** Conflict-graph commit scheduling (DESIGN.md §17): each queued
+          splice keeps its own footprint closure; a touch lands only the
+          decision-order prefix up to the newest splice whose closure
+          reaches the touched root, and the landing group is cut into
+          independent-set verification waves by greedy colouring of the
+          footprint-overlap graph. Overlapping batches land in a later
+          wave instead of forcing a flush; mutations stay serial in
+          decision order, so results are bit-identical to [Flush] and to
+          immediate commits. *)
+(** How the deferred commit queue lands (only meaningful with
+    [incremental] and [commit_batch > 1]). *)
+
 type options = {
   k : int;  (** subcircuit input limit K (paper: 5 or 6) *)
   max_candidates : int;  (** candidate cap per root *)
@@ -99,6 +119,20 @@ type options = {
           commits every splice immediately; ignored (treated as 1) when
           [incremental] is off, since deferral rides on the footprint
           machinery. Either way results are bit-identical. *)
+  worklist : bool;
+      (** Dirty-root worklist walk (DESIGN.md §17): instead of scanning
+          every root of the circuit just to skip the clean ones, the pass
+          pops exactly the dirty roots from an ordered
+          {!Footprint.Worklist} view in descending id order — the same
+          outputs-towards-inputs order as the scan walk, so results are
+          bit-identical while pass time becomes O(changes). A popped root
+          is processed iff it is a live gate reachable from an output,
+          which is precisely when the scan walk would have marked it.
+          Effective only with [incremental] (the scan walk has no dirty
+          set to order); the CLI escape hatch is [--no-worklist]. *)
+  scheduler : scheduler;
+      (** Commit-queue landing discipline, see {!scheduler}. The CLI knob
+          is [--scheduler flush|graph]. *)
 }
 
 val default_options : options
@@ -106,7 +140,8 @@ val default_options : options
     on, global verification off, at most 16 passes, seed 1, extensions off,
     [domains = 0] (auto), [obs = false], [verify = `Sampled 8],
     [inject_unsound = 0], [id_cache = true], [cache_dir = None],
-    [incremental = true], [commit_batch = 8]. *)
+    [incremental = true], [commit_batch = 8], [worklist = true],
+    [scheduler = Graph]. *)
 
 type stats = {
   passes : int;
@@ -129,7 +164,15 @@ val optimize : objective -> options -> Circuit.t -> stats
     [engine.realised], [engine.accepted], [engine.verify_checks],
     [engine.verify_refused], [engine.verify_unknown], [engine.dirty_regions]
     (splice footprints marked dirty), [engine.reenum_skipped] (clean roots
-    skipped without re-enumeration), [engine.concurrent_commits] (splices
+    skipped without re-enumeration by the scan walk; the worklist walk
+    never visits them at all), [engine.worklist_popped] (dirty roots popped
+    from the pass worklist), [engine.conflict_edges] (footprint overlaps
+    detected between queued splices — the touch rule keeps this at zero, so
+    a non-zero value flags a scheduler invariant violation),
+    [engine.commit_waves] (independent-set verification waves landed),
+    [engine.wave_coalesced] (splices verified in a multi-splice wave after
+    surviving a touch the flush rule would have landed them on),
+    [engine.concurrent_commits] (splices
     landed through a multi-splice flush), and the {!Idcache} probes
     [idcache.hits], [idcache.npn_hits], [idcache.disk_hits],
     [idcache.misses], [idcache.canon_ns]; histograms [engine.cut_size],

@@ -7,9 +7,11 @@
 # circuits are generated from fixed seeds, so their sizes are exactly
 # reproducible and any drift is a real behaviour change. Wall times and
 # speedups are machine-dependent and deliberately not gated here — with
-# three exceptions: the `incremental` section compares the engine against
-# itself at identical domain counts, so its speedup (and its bit-identity
-# flag) must hold on any machine and is gated via `gate_ok` below; the
+# a few exceptions: the `incremental` and `worklist` sections compare the
+# engine against itself at identical domain counts, so their bit-identity
+# flags (and the worklist section's pop-fraction, conflict-edge and
+# wave-coalescing invariants) must hold on any machine and are gated via
+# `gate_ok` and `waves_gt_flushes` below; the
 # `idcache` section's `gate_ok` asserts the persistent identification
 # cache's determinism contract (off = cold = warm bit-identity, warm-start
 # disk hits, an NPN class layer that strictly improves on raw keys, and a
@@ -50,9 +52,9 @@ dune build bin/sft_cli.exe bench/main.exe
 tmp=$(mktemp -t bench-smoke.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT INT TERM
 
-echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental,idcache,sat_atpg,journal)..."
+echo "check_regression: bench smoke run (--quick --only micro,kernels,incremental,worklist,idcache,sat_atpg,journal)..."
 dune exec --no-build bench/main.exe -- \
-    --quick --only micro,kernels,incremental,idcache,sat_atpg,journal --domains 2 --json "$tmp" > /dev/null
+    --quick --only micro,kernels,incremental,worklist,idcache,sat_atpg,journal --domains 2 --json "$tmp" > /dev/null
 
 # Incremental-resynthesis and idcache gates: dirty-region tracking must
 # reproduce the full re-enumeration path bit-for-bit and not be slower
@@ -60,11 +62,20 @@ dune exec --no-build bench/main.exe -- \
 # circuits off/cold/warm with warm-start disk hits and an NPN layer that
 # pays for itself.
 if grep -q '"identical_results": false' "$tmp"; then
-    echo "check_regression: a bit-identity section diverged (incremental, idcache or journal)" >&2
+    echo "check_regression: a bit-identity section diverged (incremental, worklist, idcache or journal)" >&2
     exit 1
 fi
 if grep -q '"gate_ok": false' "$tmp"; then
-    echo "check_regression: a section gate failed (incremental speedup/skip, idcache warm-start/NPN/hit-rate, or journal funnel/drops)" >&2
+    echo "check_regression: a section gate failed (incremental speedup/skip, worklist pops/waves, idcache warm-start/NPN/hit-rate, or journal funnel/drops)" >&2
+    exit 1
+fi
+
+# Worklist commit-scheduler gate (DESIGN.md §17): at least one commit wave
+# must coalesce splices that the PR-6 flush-on-touch rule would have
+# serialised — otherwise the conflict-graph scheduler is not actually
+# batching and has silently degraded to per-touch flushing.
+if grep -q '"waves_gt_flushes": false' "$tmp"; then
+    echo "check_regression: worklist scheduler produced no coalesced commit wave" >&2
     exit 1
 fi
 

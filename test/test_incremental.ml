@@ -47,6 +47,95 @@ let test_footprint_cone () =
      whole fanout already dirty here) *)
   check int_ "input seed" 1 (Footprint.mark_fanout_cone c s [ order.(1) ])
 
+let test_footprint_setops () =
+  (* clear keeps the backing store but empties the membership *)
+  let s = Footprint.create 4 in
+  Footprint.add s 2;
+  Footprint.add s 9;
+  Footprint.clear s;
+  check int_ "cleared" 0 (Footprint.count s);
+  check bool_ "cleared member" false (Footprint.mem s 2);
+  Footprint.add s 9;
+  check int_ "reusable after clear" 1 (Footprint.count s);
+  (* intersects: word-level fast path and byte tail, across growth *)
+  let a = Footprint.create 4 and b = Footprint.create 200 in
+  check bool_ "empty vs empty" false (Footprint.intersects a b);
+  Footprint.add a 3;
+  Footprint.add b 100;
+  check bool_ "disjoint" false (Footprint.intersects a b);
+  Footprint.add a 100 (* grows [a] past [b]'s word boundary *);
+  check bool_ "overlap" true (Footprint.intersects a b);
+  check bool_ "symmetric" true (Footprint.intersects b a);
+  Footprint.remove a 100;
+  check bool_ "overlap removed" false (Footprint.intersects a b);
+  (* union_into grows the destination and leaves the source unchanged *)
+  let dst = Footprint.create 2 in
+  Footprint.add dst 1;
+  Footprint.union_into dst b;
+  check bool_ "union member" true (Footprint.mem dst 100);
+  check int_ "union count" 2 (Footprint.count dst);
+  check int_ "source unchanged" 1 (Footprint.count b);
+  Footprint.union_into dst b (* idempotent *);
+  check int_ "union idempotent" 2 (Footprint.count dst)
+
+(* --- Worklist ordering ------------------------------------------------------- *)
+
+(* Emulate the engine's contract: a popped root is processed, i.e. removed
+   from the dirty set; un-popped ids stay dirty for the next rebuild. *)
+let drain wl =
+  let rec go acc =
+    match Footprint.Worklist.pop wl with
+    | None -> List.rev acc
+    | Some id ->
+      Footprint.remove (Footprint.Worklist.fp wl) id;
+      go (id :: acc)
+  in
+  go []
+
+let test_worklist_ordering () =
+  (* all-dirty seed pops in descending topological position *)
+  let wl = Footprint.Worklist.create ~all:true 4 in
+  Footprint.Worklist.start_pass wl ~pos:[| 0; 1; 2; 3 |];
+  check (Alcotest.list int_) "descending" [ 3; 2; 1; 0 ] (drain wl);
+  (* ...of the *position*, not the id: a permuted table reorders pops *)
+  let wl = Footprint.Worklist.create ~all:true 4 in
+  Footprint.Worklist.start_pass wl ~pos:[| 3; 2; 1; 0 |];
+  check (Alcotest.list int_) "by position" [ 0; 1; 2; 3 ] (drain wl);
+  (* track:false degrades to a plain set wrapper *)
+  let wl = Footprint.Worklist.create ~all:true ~track:false 4 in
+  Footprint.Worklist.start_pass wl ~pos:[| 0; 1; 2; 3 |];
+  check bool_ "untracked pops nothing" true (Footprint.Worklist.pop wl = None);
+  check int_ "untracked set intact" 4 (Footprint.count (Footprint.Worklist.fp wl))
+
+let test_worklist_cursor () =
+  (* The sweep-cascade boundary case: a splice at the cursor re-dirties an
+     upstream root (smaller position), which the same pass must still
+     reach; a downstream push (larger position) waits for the next pass. *)
+  let wl = Footprint.Worklist.create 8 in
+  let pos = Array.init 8 (fun i -> i) in
+  Footprint.Worklist.push wl 6;
+  Footprint.Worklist.start_pass wl ~pos;
+  check (Alcotest.option int_) "first pop" (Some 6) (Footprint.Worklist.pop wl);
+  Footprint.remove (Footprint.Worklist.fp wl) 6;
+  Footprint.Worklist.push wl 2 (* upstream: re-enqueued into this pass *);
+  Footprint.Worklist.push wl 2 (* duplicate push is absorbed *);
+  Footprint.Worklist.push wl 7 (* downstream: deferred *);
+  check (Alcotest.list int_) "upstream reached once" [ 2 ] (drain wl);
+  check bool_ "deferred id still dirty" true
+    (Footprint.mem (Footprint.Worklist.fp wl) 7);
+  Footprint.Worklist.start_pass wl ~pos;
+  check (Alcotest.list int_) "next pass picks deferral" [ 7 ] (drain wl);
+  (* an id dirtied mid-pass with no position (freshly spliced) also waits *)
+  let wl = Footprint.Worklist.create 4 in
+  Footprint.Worklist.push wl 3;
+  Footprint.Worklist.start_pass wl ~pos:(Array.init 4 (fun i -> i));
+  check (Alcotest.option int_) "pop placed" (Some 3) (Footprint.Worklist.pop wl);
+  Footprint.remove (Footprint.Worklist.fp wl) 3;
+  Footprint.Worklist.push wl 9 (* beyond the position table *);
+  check bool_ "unplaced id deferred" true (Footprint.Worklist.pop wl = None);
+  Footprint.Worklist.start_pass wl ~pos:(Array.init 10 (fun i -> i));
+  check (Alcotest.list int_) "placed next pass" [ 9 ] (drain wl)
+
 (* --- Subcircuit dedup reuse ------------------------------------------------- *)
 
 let test_enumerate_dedup_reuse () =
@@ -107,14 +196,21 @@ let base =
 
 let full = { base with Engine.incremental = false }
 
+(* [base] inherits the defaults: incremental, worklist walk, graph
+   scheduler, commit_batch 8. The variants cover both walks and both
+   schedulers — every row must reproduce the full re-enumeration walk
+   bit-exactly. *)
 let variants =
   [
-    ("serial-commit", { base with Engine.incremental = true; commit_batch = 1 });
-    ("batched", { base with Engine.incremental = true; commit_batch = 4 });
-    ( "batched domains=3",
-      { base with Engine.incremental = true; commit_batch = 4; domains = 3 } );
-    ( "no-id-cache",
-      { base with Engine.incremental = true; id_cache = false } );
+    ( "scan serial-commit",
+      { base with Engine.worklist = false; commit_batch = 1 } );
+    ( "scan flush-batched",
+      { base with Engine.worklist = false; scheduler = Engine.Flush; commit_batch = 4 } );
+    ("worklist flush-batched", { base with Engine.scheduler = Engine.Flush });
+    ("worklist graph serial-commit", { base with Engine.commit_batch = 1 });
+    ("worklist graph (defaults)", base);
+    ("worklist graph domains=3", { base with Engine.domains = 3 });
+    ("no-id-cache", { base with Engine.id_cache = false });
   ]
 
 let identical_on objective c seed =
@@ -167,24 +263,39 @@ let test_incremental_equivalence () =
   done
 
 let test_incremental_skips_clean_roots () =
-  (* A multi-pass run must actually skip work: the second pass re-enumerates
-     only dirty regions, so the skip counter moves. *)
+  (* A multi-pass run must actually skip work. The scan walk visits every
+     root and skips the clean ones (the skip counter moves); the worklist
+     walk never visits them at all (the skip counter stays put and the pop
+     counter stays well below a full visit count). *)
   let skipped = Obs.Counter.make "engine.reenum_skipped" in
   let candidates = Obs.Counter.make "engine.candidates" in
+  let popped = Obs.Counter.make "engine.worklist_popped" in
   Obs.enable ();
   Fun.protect ~finally:Obs.disable (fun () ->
       let c = random_circuit ~n_pi:8 ~n_gates:120 ~n_po:6 160 in
       let s0 = Obs.Counter.value skipped in
-      let stats = Procedure2.run ~options:base c in
+      let stats =
+        Procedure2.run ~options:{ base with Engine.worklist = false } c
+      in
       let s1 = Obs.Counter.value skipped in
       if stats.Engine.replacements > 0 && stats.Engine.passes > 1 then
         check bool_ "clean roots were skipped" true (s1 - s0 > 0);
-      (* and a --no-incremental run never skips, but re-enumerates more *)
+      (* the worklist walk pops instead of skipping *)
       let c2 = random_circuit ~n_pi:8 ~n_gates:120 ~n_po:6 160 in
       let s2 = Obs.Counter.value skipped in
+      let p0 = Obs.Counter.value popped in
+      let stats2 = Procedure2.run ~options:base c2 in
+      check int_ "worklist walk never skip-scans" s2 (Obs.Counter.value skipped);
+      let pops = Obs.Counter.value popped - p0 in
+      check bool_ "worklist popped dirty roots" true (pops > 0);
+      check bool_ "worklist pops below full visits" true
+        (pops < stats2.Engine.passes * Circuit.size c2);
+      (* and a --no-incremental run never skips, but re-enumerates more *)
+      let c3 = random_circuit ~n_pi:8 ~n_gates:120 ~n_po:6 160 in
+      let s3 = Obs.Counter.value skipped in
       let c0 = Obs.Counter.value candidates in
-      ignore (Procedure2.run ~options:{ base with Engine.incremental = false } c2);
-      check int_ "full path skips nothing" s2 (Obs.Counter.value skipped);
+      ignore (Procedure2.run ~options:{ base with Engine.incremental = false } c3);
+      check int_ "full path skips nothing" s3 (Obs.Counter.value skipped);
       check bool_ "full path enumerates at least as much" true
         (Obs.Counter.value candidates - c0 >= 0))
 
@@ -244,10 +355,39 @@ let prop_incremental_identity =
         (fun (_, options) -> fingerprint Engine.Gates options c = want)
         variants)
 
+(* Full worklist matrix: scheduler x domains x commit batch, every cell
+   bit-identical to the full re-enumeration walk. *)
+let worklist_matrix =
+  List.concat_map
+    (fun scheduler ->
+      List.concat_map
+        (fun domains ->
+          List.map
+            (fun commit_batch ->
+              { base with Engine.scheduler; domains; commit_batch })
+            [ 1; 8 ])
+        [ 1; 3 ])
+    [ Engine.Flush; Engine.Graph ]
+
+let prop_worklist_matrix =
+  QCheck.Test.make
+    ~name:"worklist x {flush,graph} x domains x batch = full (circuit_gen)"
+    ~count:4
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let c = Circuit_gen.generate (gen_profile seed) in
+      let want = fingerprint Engine.Gates full c in
+      List.for_all
+        (fun options -> fingerprint Engine.Gates options c = want)
+        worklist_matrix)
+
 let suite =
   [
     ("footprint: set operations", `Quick, test_footprint_set);
+    ("footprint: clear / intersects / union_into", `Quick, test_footprint_setops);
     ("footprint: fanout cone marking", `Quick, test_footprint_cone);
+    ("worklist: topological pop order", `Quick, test_worklist_ordering);
+    ("worklist: cursor and deferral", `Quick, test_worklist_cursor);
     ("enumerate: dedup reuse is invisible", `Quick, test_enumerate_dedup_reuse);
     ("pool: work-size cutoff", `Quick, test_pool_serial_cutoff);
     ("identity: gates objective", `Quick, test_incremental_identity_gates);
@@ -258,4 +398,4 @@ let suite =
     ("sweep-cascade boundary re-dirtied", `Quick, test_sweep_cascade_boundary);
   ]
 
-let qchecks = [ prop_incremental_identity ]
+let qchecks = [ prop_incremental_identity; prop_worklist_matrix ]
